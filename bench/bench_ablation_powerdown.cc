@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Extension bench (the paper's conclusion): "appropriate use of DRAM
+ * power-down modes, combined with supporting operating system policies,
+ * may significantly reduce main memory power."  Compares main-memory
+ * standby power with and without precharge power-down on the system
+ * with the 192MB COMM-DRAM L3 (which filters most memory traffic and
+ * therefore leaves the ranks idle the longest).
+ */
+
+#include <cstdio>
+
+#include "sim/study.hh"
+
+namespace {
+
+archsim::SimStats
+runWith(const archsim::Study &study, const std::string &cfg,
+        const archsim::WorkloadParams &w, bool power_down,
+        std::uint64_t n)
+{
+    using namespace archsim;
+    HierarchyParams hp = study.hierarchyFor(cfg);
+    hp.dram.powerDown = power_down;
+    WorkloadParams scaled = w;
+    scaled.hotBytes = w.hotBytes / 16.0;
+    scaled.wsBytes = w.wsBytes / 16.0;
+    System sys(hp, scaled, n);
+    SimStats s = sys.run();
+    s.config = cfg;
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace archsim;
+    Study study;
+    const auto n = defaultInstrPerThread() / 2;
+
+    for (const std::string &cfg : {std::string("nol3"),
+                                   std::string("cm_dram_c")}) {
+        std::printf("=== DRAM power-down ablation (%s) ===\n",
+                    cfg.c_str());
+        std::printf("%-6s %8s %10s %10s %10s %8s\n", "app", "pd-frac",
+                    "stby-on", "stby-off", "mh-saving", "slowdown");
+        for (const WorkloadParams &w : study.workloads()) {
+            const SimStats off = runWith(study, cfg, w, false, n);
+            const SimStats on = runWith(study, cfg, w, true, n);
+            const PowerParams pp = study.powerFor(cfg);
+            const PowerBreakdown b_off = computePower(pp, off);
+            const PowerBreakdown b_on = computePower(pp, on);
+            std::printf("%-6s %7.1f%% %9.2fW %9.2fW %9.2f%% %7.2f%%\n",
+                        w.name.c_str(),
+                        on.memPoweredDownFraction * 100.0,
+                        b_off.mainStandby, b_on.mainStandby,
+                        (1.0 - b_on.memoryHierarchy() /
+                                   b_off.memoryHierarchy()) * 100.0,
+                        (double(on.cycles) / double(off.cycles) - 1.0) *
+                            100.0);
+        }
+        std::printf("\n");
+    }
+    std::printf("expected: large powered-down residency behind the "
+                "192MB COMM-DRAM L3 (it filters the traffic), small "
+                "slowdown from the wake-up latency.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation (paper section 3.4, Figure 3): operate the DRAM LLC in page
+ * mode and measure the open-page hit ratio under both set-to-page
+ * mappings.  The paper argues that neither mapping sees page locality
+ * at the last level -- requests arrive interleaved across 32 threads --
+ * so an open-page policy is unattractive and the study uses the
+ * SRAM-like interface instead.  This bench measures, rather than
+ * assumes, that claim.
+ */
+
+#include <cstdio>
+
+#include "sim/study.hh"
+
+int
+main()
+{
+    using namespace archsim;
+    Study study;
+    const auto n = defaultInstrPerThread() / 3;
+
+    std::printf("=== Ablation: DRAM-LLC set-to-page mapping (cm_dram_c, "
+                "page mode) ===\n");
+    std::printf("%-6s %16s %16s %14s\n", "app", "set/page hit%",
+                "striped hit%", "ipc(a / b)");
+    for (const WorkloadParams &w : study.workloads()) {
+        // Run both mappings; page hit counters live in the LLC.
+        HierarchyParams hp_a = study.hierarchyFor("cm_dram_c");
+        hp_a.llc->pageMode = true;
+        hp_a.llc->mapping = SetMapping::SetPerPage;
+        HierarchyParams hp_b = hp_a;
+        hp_b.llc->mapping = SetMapping::Striped;
+        WorkloadParams scaled = w;
+        scaled.hotBytes = w.hotBytes / 16.0;
+        scaled.wsBytes = w.wsBytes / 16.0;
+
+        System sys_a(hp_a, scaled, n);
+        const SimStats a = sys_a.run();
+        const Llc *llc_a = sys_a.hierarchy().llc();
+        const double ha =
+            llc_a->pageHits + llc_a->pageMisses
+                ? 100.0 * double(llc_a->pageHits) /
+                      double(llc_a->pageHits + llc_a->pageMisses)
+                : 0.0;
+
+        System sys_b(hp_b, scaled, n);
+        const SimStats b = sys_b.run();
+        const Llc *llc_b = sys_b.hierarchy().llc();
+        const double hb =
+            llc_b->pageHits + llc_b->pageMisses
+                ? 100.0 * double(llc_b->pageHits) /
+                      double(llc_b->pageHits + llc_b->pageMisses)
+                : 0.0;
+
+        std::printf("%-6s %15.1f%% %15.1f%% %7.2f/%5.2f\n",
+                    w.name.c_str(), ha, hb, a.ipc, b.ipc);
+    }
+    std::printf("\nexpected (section 3.4): low page hit ratios under "
+                "either mapping -- successive LLC requests rarely land "
+                "in the same open page, so the study operates its DRAM "
+                "caches with the SRAM-like interface instead.\n");
+    return 0;
+}

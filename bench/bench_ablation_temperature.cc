@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: operating-temperature sensitivity of the leakage model.
+ * Subthreshold leakage roughly doubles every 25 K, so the SRAM L3's
+ * standby power -- the quantity that decides the paper's technology
+ * comparison -- depends strongly on the assumed junction temperature,
+ * while the LSTP-periphery COMM-DRAM cache barely moves.
+ */
+
+#include <cstdio>
+
+#include "core/cacti.hh"
+
+int
+main()
+{
+    using namespace cactid;
+
+    std::printf("=== Ablation: leakage vs temperature (24MB L3 bank "
+                "organizations, 32nm) ===\n");
+    std::printf("%-8s %14s %14s %14s\n", "T (K)", "SRAM leak (W)",
+                "LP-DRAM (W)", "COMM-DRAM (W)");
+
+    for (double temp : {300.0, 325.0, 350.0, 375.0, 400.0}) {
+        double leak[3] = {};
+        int i = 0;
+        for (RamCellTech tech : {RamCellTech::Sram, RamCellTech::LpDram,
+                                 RamCellTech::CommDram}) {
+            MemoryConfig c;
+            c.capacityBytes = 24.0 * 1024 * 1024;
+            c.blockBytes = 64;
+            c.associativity = 12;
+            c.nBanks = 8;
+            c.type = MemoryType::Cache;
+            c.accessMode = AccessMode::Sequential;
+            c.featureNm = 32.0;
+            c.temperatureK = temp;
+            c.dataCellTech = tech;
+            c.tagCellTech = tech;
+            c.sleepTransistors = tech == RamCellTech::Sram;
+            c.maxAccTimeConstraint = 0.6;
+            const Solution s = solve(c).best;
+            leak[i++] = s.leakage + s.refreshPower;
+        }
+        std::printf("%-8.0f %14.3f %14.3f %14.4f\n", temp, leak[0],
+                    leak[1], leak[2]);
+    }
+    std::printf("\nexpected: SRAM leakage roughly doubles every 25 K; "
+                "the LSTP-periphery COMM-DRAM cache stays negligible, "
+                "so the paper's technology ranking is robust to "
+                "temperature.\n");
+    return 0;
+}

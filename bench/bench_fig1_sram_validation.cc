@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Paper Figure 1: SRAM model validation against the 65 nm 16MB Intel
+ * Xeon L3 cache (Chang et al., JSSC'07).
+ *
+ * The paper presents this as a bubble chart: CACTI-D solutions obtained
+ * by sweeping max_area / max_acctime / max_repeater_delay constraints,
+ * plotted as access time vs. dynamic power with bubble size = area,
+ * next to the published part (two bubbles for the two quoted dynamic
+ * power numbers, attributed to different application activity factors).
+ *
+ * Reference values are reconstructions from the published sources the
+ * paper cites (the figure axes are not machine-readable): the Tulsa die
+ * is 435 mm^2 with the L3 occupying roughly half (~198 mm^2); the L3
+ * random access time is ~3.5 ns; the two quoted dynamic powers are
+ * ~2.6 W and ~1.1 W; leakage with sleep transistors is ~2.5 W.  The
+ * paper's claim to reproduce: the best-access-time CACTI-D solution has
+ * an average error of ~20% across access time, area, and power.
+ */
+
+#include <cstdio>
+#include <cmath>
+#include <vector>
+
+#include "core/cacti.hh"
+
+namespace {
+
+constexpr double kXeonAreaMm2 = 198.0;
+constexpr double kXeonAccessNs = 3.5;
+constexpr double kXeonDynPowerHighW = 2.6;
+constexpr double kXeonDynPowerLowW = 1.1;
+constexpr double kXeonLeakageW = 2.5;
+
+} // namespace
+
+int
+main()
+{
+    using namespace cactid;
+
+    MemoryConfig cfg;
+    cfg.capacityBytes = 16.0 * 1024 * 1024;
+    cfg.blockBytes = 64;
+    cfg.associativity = 16;
+    cfg.nBanks = 1;
+    cfg.type = MemoryType::Cache;
+    cfg.accessMode = AccessMode::Sequential; // big LLC, energy conscious
+    cfg.featureNm = 65.0;
+    cfg.dataCellTech = RamCellTech::Sram;
+    cfg.sleepTransistors = true;
+    cfg.includeEcc = true; // the Xeon L3 stores ECC alongside data
+
+    std::printf("=== Figure 1: 65nm Xeon 16MB L3 validation ===\n");
+    std::printf("target bubbles: access %.2f ns, area %.0f mm^2, "
+                "dynamic power %.1f / %.1f W, leakage %.1f W\n\n",
+                kXeonAccessNs, kXeonAreaMm2, kXeonDynPowerHighW,
+                kXeonDynPowerLowW, kXeonLeakageW);
+    std::printf("%-34s %9s %9s %9s %9s\n", "constraints (area,time,rep)",
+                "acc(ns)", "area(mm2)", "dyn(W)", "leak(W)");
+
+    double best_time = 1e9;
+    Solution best;
+    const double area_cons[] = {0.10, 0.25, 0.50};
+    const double time_cons[] = {0.05, 0.25, 0.50};
+    const double derates[] = {1.0, 2.0, 3.0};
+    for (double a : area_cons) {
+        for (double ti : time_cons) {
+            for (double d : derates) {
+                cfg.maxAreaConstraint = a;
+                cfg.maxAccTimeConstraint = ti;
+                cfg.repeaterDerate = d;
+                const SolveResult r = solve(cfg);
+                const Solution &s = r.best;
+                // Dynamic power at activity factor 1.0: one access
+                // per random cycle (max operating frequency).
+                const double dyn = s.readEnergy / s.randomCycle;
+                std::printf("a<=best+%.0f%% t<=best+%.0f%% rep %.0fx   "
+                            "%9.3f %9.2f %9.2f %9.2f\n",
+                            a * 100, ti * 100, d, s.accessTime * 1e9,
+                            s.totalArea * 1e6, dyn, s.leakage);
+                if (s.accessTime < best_time) {
+                    best_time = s.accessTime;
+                    best = s;
+                }
+            }
+        }
+    }
+
+    // A sample of the filtered solution cloud (the paper's bubbles).
+    cfg.maxAreaConstraint = 0.50;
+    cfg.maxAccTimeConstraint = 0.50;
+    cfg.repeaterDerate = 1.0;
+    const SolveResult cloud = solve(cfg);
+    std::printf("\nsolution cloud (%zu organizations pass the "
+                "constraints):\n", cloud.filtered.size());
+    const std::size_t step =
+        std::max<std::size_t>(1, cloud.filtered.size() / 8);
+    for (std::size_t i = 0; i < cloud.filtered.size(); i += step) {
+        const Solution &s = cloud.filtered[i];
+        std::printf("  bubble: acc %.3f ns, area %.1f mm^2, dyn %.2f "
+                    "W\n", s.accessTime * 1e9, s.totalArea * 1e6,
+                    s.readEnergy / s.randomCycle);
+    }
+
+    const double dyn = best.readEnergy / best.randomCycle;
+    // The paper plots two target bubbles (two quoted dynamic powers for
+    // different application activity); compare against the closer one.
+    const double err_hi = (dyn - kXeonDynPowerHighW) / kXeonDynPowerHighW;
+    const double err_lo = (dyn - kXeonDynPowerLowW) / kXeonDynPowerLowW;
+    const double errs[] = {
+        (best.accessTime * 1e9 - kXeonAccessNs) / kXeonAccessNs,
+        (best.totalArea * 1e6 - kXeonAreaMm2) / kXeonAreaMm2,
+        std::fabs(err_hi) < std::fabs(err_lo) ? err_hi : err_lo,
+    };
+    double mean = 0.0;
+    for (double e : errs)
+        mean += std::fabs(e);
+    mean /= std::size(errs);
+    std::printf("\nbest-access-time solution: access %.3f ns, area "
+                "%.1f mm^2, dynamic %.2f W, leakage %.2f W\n",
+                best.accessTime * 1e9, best.totalArea * 1e6, dyn,
+                best.leakage);
+    std::printf("average |error| vs target: %.1f%% (paper reports ~20%%)\n",
+                mean * 100.0);
+    return 0;
+}

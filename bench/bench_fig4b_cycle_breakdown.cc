@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Paper Figure 4(b): normalized execution-cycle breakdown (instruction /
+ * L2 / L3 / memory / barrier / lock) per application and configuration,
+ * with the total normalized to the no-L3 system.
+ */
+
+#include <cstdio>
+
+#include "sim/study.hh"
+
+int
+main()
+{
+    using namespace archsim;
+    Study study;
+    const auto n = defaultInstrPerThread();
+
+    std::printf("=== Figure 4(b): normalized execution cycle breakdown "
+                "===\n");
+    std::printf("%-6s %-11s %7s %6s %6s %6s %6s %6s %6s\n", "app",
+                "config", "time", "instr", "L2", "L3", "memory",
+                "barrier", "lock");
+    for (const WorkloadParams &w : study.workloads()) {
+        double base = 0.0;
+        for (const std::string &cfg : Study::configNames()) {
+            const SimStats s = study.run(cfg, w, n);
+            if (cfg == "nol3")
+                base = double(s.cycles);
+            const double t = double(s.cycles) / base;
+            std::printf(
+                "%-6s %-11s %7.3f %6.3f %6.3f %6.3f %6.3f %6.3f %6.3f\n",
+                w.name.c_str(), cfg.c_str(), t, t * s.fInstruction,
+                t * s.fL2, t * s.fL3, t * s.fMemory, t * s.fBarrier,
+                t * s.fLock);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

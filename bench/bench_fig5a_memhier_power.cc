@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Paper Figure 5(a): memory hierarchy power breakdown per application
+ * and configuration: L1/L2/crossbar/L3 leakage + dynamic, main-memory
+ * chip dynamic / standby / refresh, and memory bus power.
+ */
+
+#include <cstdio>
+
+#include "sim/study.hh"
+
+int
+main()
+{
+    using namespace archsim;
+    Study study;
+    const auto n = defaultInstrPerThread();
+
+    std::printf("=== Figure 5(a): memory hierarchy power breakdown (W) "
+                "===\n");
+    std::printf("%-6s %-11s %6s | %5s %5s %5s %5s %5s %5s %5s %5s %5s "
+                "%5s\n",
+                "app", "config", "total", "L1", "L2", "xbar", "L3lk",
+                "L3dyn", "L3rf", "Mdyn", "Mstby", "Mrf", "bus");
+
+    double sum_nol3 = 0.0;
+    double sums[6] = {};
+    int idx = 0;
+    for (const WorkloadParams &w : study.workloads()) {
+        idx = 0;
+        for (const std::string &cfg : Study::configNames()) {
+            const SimStats s = study.run(cfg, w, n);
+            const PowerBreakdown b =
+                computePower(study.powerFor(cfg), s);
+            std::printf("%-6s %-11s %6.2f | %5.2f %5.2f %5.2f %5.2f "
+                        "%5.2f %5.2f %5.2f %5.2f %5.2f %5.2f\n",
+                        w.name.c_str(), cfg.c_str(),
+                        b.memoryHierarchy(), b.l1Leak + b.l1Dyn,
+                        b.l2Leak + b.l2Dyn, b.xbarLeak + b.xbarDyn,
+                        b.l3Leak, b.l3Dyn, b.l3Refresh, b.mainDyn,
+                        b.mainStandby, b.mainRefresh, b.bus);
+            sums[idx] += b.memoryHierarchy();
+            if (cfg == "nol3")
+                sum_nol3 += b.memoryHierarchy();
+            ++idx;
+        }
+        std::printf("\n");
+    }
+
+    std::printf("average memory-hierarchy power increase vs nol3 "
+                "(paper: sram +58%%, lp_ed +37%%, lp_c +35%%, cm_ed "
+                "+1.2%%, cm_c +2.3%%):\n");
+    idx = 0;
+    for (const std::string &cfg : Study::configNames()) {
+        std::printf("  %-11s %+6.1f%%\n", cfg.c_str(),
+                    (sums[idx] / sum_nol3 - 1.0) * 100.0);
+        ++idx;
+    }
+    return 0;
+}

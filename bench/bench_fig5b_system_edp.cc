@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Paper Figure 5(b): system power breakdown (core + memory hierarchy)
+ * and system energy-delay product normalized to the no-L3 system.
+ */
+
+#include <cstdio>
+
+#include "sim/study.hh"
+
+int
+main()
+{
+    using namespace archsim;
+    Study study;
+    const auto n = defaultInstrPerThread();
+
+    std::printf("=== Figure 5(b): system power and normalized "
+                "energy-delay product ===\n");
+    std::printf("%-6s %-11s %8s %8s %8s %9s\n", "app", "config",
+                "core(W)", "mh(W)", "sys(W)", "EDP-norm");
+
+    double edp_sums[6] = {};
+    int improved_sram = 0;
+    int faster[6] = {};
+    for (const WorkloadParams &w : study.workloads()) {
+        double edp_base = 0.0;
+        double t_base = 0.0;
+        int idx = 0;
+        for (const std::string &cfg : Study::configNames()) {
+            const SimStats s = study.run(cfg, w, n);
+            const PowerBreakdown b =
+                computePower(study.powerFor(cfg), s);
+            if (cfg == "nol3") {
+                edp_base = b.edp();
+                t_base = b.execSeconds;
+            }
+            const double edp_norm = b.edp() / edp_base;
+            edp_sums[idx] += edp_norm;
+            if (b.execSeconds < t_base)
+                ++faster[idx];
+            if (cfg == "sram" && edp_norm < 1.0)
+                ++improved_sram;
+            std::printf("%-6s %-11s %8.2f %8.2f %8.2f %9.3f\n",
+                        w.name.c_str(), cfg.c_str(), b.corePower,
+                        b.memoryHierarchy(), b.system(), edp_norm);
+            ++idx;
+        }
+        std::printf("\n");
+    }
+
+    std::printf("geometric-mean-free average normalized EDP (paper: "
+                "cm_ed 0.67, cm_c 0.60):\n");
+    int idx = 0;
+    for (const std::string &cfg : Study::configNames()) {
+        std::printf("  %-11s %6.3f  (faster than nol3 on %d/8 apps)\n",
+                    cfg.c_str(), edp_sums[idx] / 8.0, faster[idx]);
+        ++idx;
+    }
+    std::printf("sram L3 improves EDP on %d/8 apps (paper: 4)\n",
+                improved_sram);
+    return 0;
+}

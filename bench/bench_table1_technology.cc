@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Paper Table 1: key characteristics of the SRAM, LP-DRAM, and
+ * COMM-DRAM technologies at 32 nm, printed from the technology model
+ * next to the paper's values.
+ */
+
+#include <cstdio>
+
+#include "tech/technology.hh"
+
+int
+main()
+{
+    using namespace cactid;
+    const Technology t(32.0);
+
+    std::printf("=== Table 1: technology characteristics at 32 nm "
+                "(model | paper) ===\n");
+    std::printf("%-34s %-16s %-16s %-16s\n", "characteristic", "SRAM",
+                "LP-DRAM", "COMM-DRAM");
+
+    const CellParams &sram = t.cell(RamCellTech::Sram);
+    const CellParams &lp = t.cell(RamCellTech::LpDram);
+    const CellParams &cm = t.cell(RamCellTech::CommDram);
+
+    std::printf("%-34s %.0f|146 F^2       %.0f|30 F^2        "
+                "%.0f|6 F^2\n",
+                "cell area", sram.areaF2, lp.areaF2, cm.areaF2);
+    std::printf("%-34s %-16s %-16s %-16s\n", "cell device",
+                toString(sram.accessDevice).c_str(),
+                toString(lp.accessDevice).c_str(),
+                toString(cm.accessDevice).c_str());
+    std::printf("%-34s %-16s %-16s %-16s\n", "peripheral device",
+                toString(sram.peripheralDevice).c_str(),
+                toString(lp.peripheralDevice).c_str(),
+                toString(cm.peripheralDevice).c_str());
+    std::printf("%-34s %-16s %-16s %-16s\n", "bitline conductor",
+                "Copper", "Copper", "Tungsten");
+    std::printf("%-34s %.1f|0.9 V        %.1f|1.0 V        "
+                "%.1f|1.0 V\n",
+                "cell VDD", sram.vddCell, lp.vddCell, cm.vddCell);
+    std::printf("%-34s %-16s %.0f|20 fF        %.0f|30 fF\n",
+                "storage capacitance", "N/A", lp.cStorage * 1e15,
+                cm.cStorage * 1e15);
+    std::printf("%-34s %-16s %.1f|1.5 V        %.1f|2.6 V\n",
+                "boosted wordline VPP", "N/A", lp.vpp, cm.vpp);
+    std::printf("%-34s %-16s %.2f|0.12 ms      %.0f|64 ms\n",
+                "refresh period", "N/A", lp.retention * 1e3,
+                cm.retention * 1e3);
+
+    // Device summary for the four logic flavours.
+    std::printf("\nITRS logic devices at 32 nm (vdd V / ion uA/um / "
+                "ioff nA/um):\n");
+    for (DeviceKind k : {DeviceKind::ItrsHp, DeviceKind::ItrsLstp,
+                         DeviceKind::ItrsLop,
+                         DeviceKind::HpLongChannel}) {
+        const DeviceParams &d = t.device(k);
+        std::printf("  %-18s %.2f / %4.0f / %8.3f\n",
+                    toString(k).c_str(), d.vdd, d.iOnN * 1e-6 * 1e6,
+                    d.iOffN * 1e3);
+    }
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Paper Table 3: CACTI-D projections of all memory-hierarchy levels at
+ * the 32 nm node (L1, L2, five L3 options, main-memory DRAM chip),
+ * printed model-vs-paper.
+ */
+
+#include <iostream>
+
+#include "sim/study.hh"
+
+int
+main()
+{
+    archsim::Study study;
+    study.printTable3(std::cout);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Memory-hierarchy planning: the "consistent models from L1 SRAM to
+ * main-memory DRAM on DIMMs" use case the paper's abstract promises.
+ * Models a complete hierarchy for a hypothetical 45 nm server part and
+ * prints the latency/energy staircase a miss walks down.
+ */
+
+#include <cstdio>
+
+#include "core/cacti.hh"
+
+namespace {
+
+cactid::Solution
+solveLevel(const char *name, cactid::MemoryConfig cfg)
+{
+    const cactid::Solution s = cactid::solve(cfg).best;
+    std::printf("%-14s %9.3f %10.3f %11.3f %10.3f %9.2f\n", name,
+                s.accessTime * 1e9, s.randomCycle * 1e9,
+                s.readEnergy * 1e9, s.leakage + s.refreshPower,
+                s.totalArea * 1e6);
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cactid;
+
+    std::printf("45nm server memory hierarchy plan\n");
+    std::printf("%-14s %9s %10s %11s %10s %9s\n", "level", "acc(ns)",
+                "cycle(ns)", "rdE(nJ)", "static(W)", "area(mm2)");
+
+    MemoryConfig l1;
+    l1.capacityBytes = 64 << 10;
+    l1.blockBytes = 64;
+    l1.associativity = 4;
+    l1.type = MemoryType::Cache;
+    l1.accessMode = AccessMode::Fast;
+    l1.featureNm = 45.0;
+    solveLevel("L1 64KB", l1);
+
+    MemoryConfig l2 = l1;
+    l2.capacityBytes = 2 << 20;
+    l2.associativity = 8;
+    solveLevel("L2 2MB", l2);
+
+    MemoryConfig l3 = l1;
+    l3.capacityBytes = 64.0 * (1 << 20);
+    l3.associativity = 16;
+    l3.nBanks = 8;
+    l3.accessMode = AccessMode::Sequential;
+    l3.dataCellTech = RamCellTech::LpDram;
+    l3.tagCellTech = RamCellTech::LpDram;
+    solveLevel("L3 64MB eDRAM", l3);
+
+    MemoryConfig mm;
+    mm.capacityBytes = 2048.0 * 1024 * 1024 / 8.0; // 2 Gb part
+    mm.blockBytes = 8;
+    mm.type = MemoryType::MainMemoryChip;
+    mm.nBanks = 8;
+    mm.featureNm = 45.0;
+    mm.dataCellTech = RamCellTech::CommDram;
+    mm.pageBytes = 1024;
+    mm.maxAreaConstraint = 0.10;
+    mm.maxAccTimeConstraint = 1.0;
+    mm.weights = {1.0, 0.0, 1.0, 0.0, 0.0, 4.0};
+    const Solution chip = solveLevel("DDR3 2Gb chip", mm);
+
+    std::printf("\nmain-memory chip timing: tRCD %.1f ns, CL %.1f ns, "
+                "tRC %.1f ns, tRRD %.1f ns\n",
+                chip.tRcd * 1e9, chip.tCas * 1e9, chip.tRc * 1e9,
+                chip.tRrd * 1e9);
+    std::printf("per-command energy: ACT %.2f nJ, READ %.2f nJ, WRITE "
+                "%.2f nJ\n",
+                chip.activateEnergy * 1e9, chip.readBurstEnergy * 1e9,
+                chip.writeBurstEnergy * 1e9);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A compact version of the paper's stacked-LLC study (section 3):
+ * model every level of the memory hierarchy with CACTI-D, simulate one
+ * NPB-like application on all six system configurations, and report
+ * execution time, memory-hierarchy power and energy-delay product.
+ *
+ * Usage: llc_study [workload] [instructions-per-thread]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/study.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace archsim;
+
+    const std::string name = argc > 1 ? argv[1] : "ft.B";
+    const std::uint64_t n =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100000;
+
+    std::printf("building CACTI-D projections for all hierarchy levels "
+                "(32nm)...\n");
+    Study study;
+    const WorkloadParams w = npbWorkload(name);
+
+    std::printf("simulating %s with %llu instructions/thread on 8 "
+                "cores x 4 threads\n\n",
+                name.c_str(), static_cast<unsigned long long>(n));
+    std::printf("%-11s %7s %8s %9s %8s %8s %9s\n", "config", "IPC",
+                "time", "mh-pwr(W)", "sys(W)", "EDP", "L3hit%");
+
+    double t_base = 0.0;
+    double edp_base = 0.0;
+    for (const std::string &cfg : Study::configNames()) {
+        const SimStats s = study.run(cfg, w, n);
+        const PowerBreakdown b = computePower(study.powerFor(cfg), s);
+        if (cfg == "nol3") {
+            t_base = b.execSeconds;
+            edp_base = b.edp();
+        }
+        const double hit =
+            s.llcHits + s.llcMisses
+                ? 100.0 * double(s.llcHits) /
+                      double(s.llcHits + s.llcMisses)
+                : 0.0;
+        std::printf("%-11s %7.2f %8.3f %9.2f %8.2f %9.3f %8.1f\n",
+                    cfg.c_str(), s.ipc, b.execSeconds / t_base,
+                    b.memoryHierarchy(), b.system(),
+                    b.edp() / edp_base, hit);
+    }
+    std::printf("\n(time and EDP normalized to the no-L3 system)\n");
+    return 0;
+}

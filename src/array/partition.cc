@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Partition enumeration.
+ */
+
+#include "array/partition.hh"
+
+#include <cmath>
+
+namespace cactid {
+
+std::vector<Partition>
+enumeratePartitions(double size_bits, int output_bits, RamCellTech tech,
+                    const PartitionLimits &limits)
+{
+    std::vector<Partition> out;
+    for (int rows = limits.minRows; rows <= limits.maxRows; rows *= 2) {
+        for (int cols = limits.minCols; cols <= limits.maxCols;
+             cols *= 2) {
+            const double subarray_bits = double(rows) * cols;
+            if (subarray_bits > size_bits)
+                continue;
+            const double n_mats = size_bits / subarray_bits;
+            // Require an integral tiling (banks may be 3 * 2^k bits,
+            // e.g. a 3MB bank of a 24MB 8-bank cache).
+            const double rounded = std::round(n_mats);
+            if (std::abs(n_mats - rounded) > 1e-9)
+                continue;
+            const auto n = static_cast<long>(rounded);
+            if (n > 1 << 14)
+                continue; // absurd tilings
+
+            const int max_bl = isDram(tech) ? 1 : limits.maxBlMux;
+            for (int bl = 1; bl <= max_bl; bl *= 2) {
+                for (int sam = 1; sam <= limits.maxSamMux; sam *= 2) {
+                    Partition p{rows, cols, bl, sam};
+                    const int per_mat = p.bitsPerMatAccess();
+                    if (per_mat < 1)
+                        continue;
+                    // Enough mats must exist to source the output width.
+                    const int active =
+                        (output_bits + per_mat - 1) / per_mat;
+                    if (active > n)
+                        continue;
+                    // Do not fetch more than 2x the needed bits from a
+                    // single mat (the excess would be discarded).
+                    if (per_mat > 2 * output_bits)
+                        continue;
+                    out.push_back(p);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace cactid

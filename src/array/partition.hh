@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Array partition parameters and their enumeration.
+ *
+ * A bank of `size` bits is tiled into identical subarrays of
+ * rowsPerSubarray x colsPerSubarray cells.  Column multiplexing happens
+ * in two places: `blMux` bitlines share one sense amplifier (before
+ * sensing; SRAM only -- DRAM senses every column of the open page), and
+ * `samMux` sense-amplifier outputs share one output line (after
+ * sensing).  These correspond to CACTI's Ndwl/Ndbl/deg-bitline-muxing/
+ * Ndsam degrees of freedom.
+ */
+
+#ifndef CACTID_ARRAY_PARTITION_HH
+#define CACTID_ARRAY_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tech/cell.hh"
+
+namespace cactid {
+
+/** One point in the array organization space. */
+struct Partition {
+    int rowsPerSubarray = 0; ///< wordlines per subarray (power of two)
+    int colsPerSubarray = 0; ///< cells per wordline (power of two)
+    int blMux = 1;           ///< bitlines per sense amp (pre-sensing mux)
+    int samMux = 1;          ///< SA outputs per data line (post-sensing)
+
+    /** Bits a single mat contributes to one access. */
+    int
+    bitsPerMatAccess() const
+    {
+        return colsPerSubarray / (blMux * samMux);
+    }
+};
+
+/** Limits for the partition enumeration. */
+struct PartitionLimits {
+    int minRows = 16;
+    int maxRows = 8192;
+    int minCols = 32;
+    int maxCols = 16384;
+    int maxBlMux = 16;
+    int maxSamMux = 64;
+};
+
+/**
+ * Enumerate all structurally valid partitions of a bank.
+ *
+ * @param size_bits   bits stored in the bank
+ * @param output_bits bits delivered per access
+ * @param tech        cell technology (DRAM forces blMux == 1: the whole
+ *                    page is sensed)
+ * @param limits      enumeration bounds
+ */
+std::vector<Partition> enumeratePartitions(double size_bits,
+                                           int output_bits,
+                                           RamCellTech tech,
+                                           const PartitionLimits &limits);
+
+} // namespace cactid
+
+#endif // CACTID_ARRAY_PARTITION_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Subarray geometry implementation.
+ */
+
+#include "array/subarray.hh"
+
+namespace cactid {
+
+namespace {
+
+/** Strap/dummy-row overhead of the cell matrix. */
+constexpr double kMatrixOverhead = 1.05;
+
+/** Sense/precharge/mux strip height in feature sizes. */
+constexpr double kStripHeightInF = 40.0;
+
+} // namespace
+
+Subarray::Subarray(const Technology &t, RamCellTech tech, int rows,
+                   int cols)
+    : Subarray(t, t.cell(tech), rows, cols)
+{
+}
+
+Subarray::Subarray(const Technology &t, const CellParams &cell, int rows,
+                   int cols)
+    : rows_(rows), cols_(cols)
+{
+    const RamCellTech tech = cell.tech;
+    matrixWidth_ = cols * cell.width * kMatrixOverhead;
+    matrixHeight_ = rows * cell.height * kMatrixOverhead;
+    stripHeight_ = kStripHeightInF * t.feature();
+    cellArea_ = double(rows) * cols * cell.areaF2 * t.feature() *
+                t.feature();
+
+    const WireParams &wire = t.wire(WirePlane::Local);
+    const DeviceParams &acc = t.device(cell.accessDevice);
+    // The wordline sees every access gate on the row plus the strapped
+    // wire.  DRAM wordlines are strapped poly: model extra resistance
+    // via a 4x surcharge on the local-plane wire resistance.
+    const double wl_len = cols * cell.width;
+    const double r_factor = isDram(tech) ? 4.0 : 1.0;
+    const int gates_per_cell = tech == RamCellTech::Sram ? 2 : 1;
+    cWordline_ = cols * gates_per_cell * acc.cGate * cell.accessWidth +
+                 wire.capPerM * wl_len;
+    rWordline_ = r_factor * wire.resPerM * wl_len;
+}
+
+} // namespace cactid

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Subarray geometry: the cell matrix plus its immediately abutted
+ * strips (sense amplifiers, precharge, column mux).
+ */
+
+#ifndef CACTID_ARRAY_SUBARRAY_HH
+#define CACTID_ARRAY_SUBARRAY_HH
+
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/** Geometry of one subarray (cell matrix + abutted strips). */
+class Subarray
+{
+  public:
+    /**
+     * @param t    technology
+     * @param tech cell technology
+     * @param rows wordlines
+     * @param cols cells per wordline
+     */
+    Subarray(const Technology &t, RamCellTech tech, int rows, int cols);
+
+    /** Construct with an explicit (e.g. port-adjusted) cell. */
+    Subarray(const Technology &t, const CellParams &cell, int rows,
+             int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    /** Width of the cell matrix incl. strap overhead (m). */
+    double matrixWidth() const { return matrixWidth_; }
+
+    /** Height of the cell matrix incl. strap overhead (m). */
+    double matrixHeight() const { return matrixHeight_; }
+
+    /** Height of the sense-amp / precharge / mux strip below (m). */
+    double stripHeight() const { return stripHeight_; }
+
+    /** Total wordline capacitance (cells + wire) (F). */
+    double cWordline() const { return cWordline_; }
+
+    /** Total wordline resistance (m). */
+    double rWordline() const { return rWordline_; }
+
+    /** Area occupied purely by storage cells (m^2). */
+    double cellArea() const { return cellArea_; }
+
+  private:
+    int rows_;
+    int cols_;
+    double matrixWidth_ = 0.0;
+    double matrixHeight_ = 0.0;
+    double stripHeight_ = 0.0;
+    double cWordline_ = 0.0;
+    double rWordline_ = 0.0;
+    double cellArea_ = 0.0;
+};
+
+} // namespace cactid
+
+#endif // CACTID_ARRAY_SUBARRAY_HH

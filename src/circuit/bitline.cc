@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Bitline model implementation.
+ */
+
+#include "circuit/bitline.hh"
+
+#include <cmath>
+
+namespace cactid {
+
+namespace {
+
+/** Settling multiplier: time constants to reach ~90% of final value. */
+constexpr double kSettle = 2.3;
+
+/** Writeback settling: the cell must be restored to ~99% (4.6 tau). */
+constexpr double kRestoreSettle = 4.6;
+
+/** Precharge device drive, in minimum widths. */
+constexpr double kPrechargeSize = 10.0;
+
+/** DRAM equalizers are weak, pitch-matched devices. */
+constexpr double kDramPrechargeSize = 2.0;
+
+/** Bitline contact + stray capacitance per attached cell (F). */
+constexpr double kContactCapPerCell = 0.04e-15;
+
+/**
+ * Activity factor on C * VDD^2 for the full activate-sense-restore-
+ * equalize sequence of a DRAM bitline pair (sensing from VDD/2, one
+ * line driven to rail, restore, equalize dissipation, and the SAN/SAP
+ * common source line share).
+ */
+constexpr double kDramBitlineActivity = 0.95;
+
+} // namespace
+
+BitlineModel
+makeBitline(const Technology &t, RamCellTech tech, int rows)
+{
+    return makeBitline(t, t.cell(tech), rows);
+}
+
+BitlineModel
+makeBitline(const Technology &t, const CellParams &cell, int rows)
+{
+    const RamCellTech tech = cell.tech;
+    const DeviceParams &acc = t.device(cell.accessDevice);
+    const DeviceParams &periph = t.device(cell.peripheralDevice);
+    const WireParams &wire = t.wire(WirePlane::Local);
+
+    BitlineModel bl;
+    const double length = rows * cell.height;
+
+    // Each SRAM cell loads both lines of the pair with half its access
+    // width; a DRAM cell loads its single bitline with the full access
+    // junction plus the storage-node contact.
+    const double c_junction_per_row =
+        isDram(tech)
+            ? acc.cJunction * cell.accessWidth + kContactCapPerCell
+            : acc.cJunction * cell.accessWidth * 0.5;
+    bl.cBitline = rows * c_junction_per_row + wire.capPerM * length;
+    bl.rBitline = resistivity(cell.bitlineConductor, t.feature()) /
+                  (t.feature() * 2.0 * t.feature()) * length;
+
+    const double r_acc = acc.rNchOn() / cell.accessWidth;
+    const double pre_size =
+        isDram(tech) ? kDramPrechargeSize : kPrechargeSize;
+    const double r_pre = periph.rPchOn() / (pre_size * t.minWidth());
+
+    if (!isDram(tech)) {
+        // --- SRAM: cell discharges one bitline of the pair.
+        bl.senseMargin = 0.10 * cell.vddCell;
+        bl.develDelay =
+            bl.cBitline * bl.senseMargin / cell.iCellOn +
+            0.38 * bl.rBitline * bl.cBitline;
+        bl.prechargeDelay = kSettle * (r_pre + bl.rBitline / 2.0) *
+                            bl.cBitline * bl.senseMargin / cell.vddCell;
+        // Both lines of the pair swing by the developed margin and are
+        // restored by the precharge circuit.
+        bl.readEnergy =
+            2.0 * bl.cBitline * cell.vddCell * bl.senseMargin;
+        // A write drives one line of the pair full rail and back.
+        bl.writeEnergy = bl.cBitline * cell.vddCell * cell.vddCell;
+        bl.writebackDelay = 0.0;
+        bl.feasible = true;
+        return bl;
+    }
+
+    // --- DRAM: charge redistribution between cell and bitline.
+    const double cs = cell.cStorage;
+    const double v_half = cell.vddCell / 2.0;
+    bl.senseMargin = v_half * cs / (cs + bl.cBitline);
+    bl.feasible = bl.senseMargin >= kSenseMargin;
+
+    const double c_series = cs * bl.cBitline / (cs + bl.cBitline);
+    bl.develDelay =
+        kSettle * (r_acc + bl.rBitline / 2.0) * c_series;
+
+    // Writeback restores the full level into the cell through the access
+    // device after the sense amp has driven the bitline to the rail.
+    bl.writebackDelay = kRestoreSettle * r_acc * cs;
+
+    // Equalize both bitlines of the folded pair back to VDD/2; the
+    // lines must settle to well within the sense margin before the next
+    // activation, so the full-restore settling multiplier applies.
+    bl.prechargeDelay =
+        kRestoreSettle * (r_pre + bl.rBitline / 2.0) * bl.cBitline / 2.0;
+
+    // Sensing, restore, SAN/SAP distribution and equalization of the
+    // folded pair, lumped as an activity factor on C * VDD^2.
+    bl.readEnergy = kDramBitlineActivity * bl.cBitline * cell.vddCell *
+                    cell.vddCell;
+    bl.cellRestoreEnergy = 0.5 * cs * cell.vddCell * cell.vddCell;
+    // DRAM writes behave like reads (activate + modify + writeback).
+    bl.writeEnergy = bl.readEnergy;
+    return bl;
+}
+
+} // namespace cactid

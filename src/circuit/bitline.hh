@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Bitline models for SRAM and DRAM subarrays.
+ *
+ * SRAM bitlines develop a small differential swing discharged by the
+ * cell.  DRAM bitlines use charge redistribution between the 1T1C cell
+ * and the precharged (VDD/2) bitline -- readout is destructive and is
+ * followed by writeback and bitline restore (paper section 2.3.2), which
+ * lengthen the random cycle time.
+ */
+
+#ifndef CACTID_CIRCUIT_BITLINE_HH
+#define CACTID_CIRCUIT_BITLINE_HH
+
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/** Electrical model of one bitline column of a subarray. */
+struct BitlineModel {
+    double cBitline = 0.0;      ///< total bitline capacitance (F)
+    double rBitline = 0.0;      ///< total bitline resistance (ohm)
+    double develDelay = 0.0;    ///< wordline-on to sense-margin delay (s)
+    double senseMargin = 0.0;   ///< differential voltage at the SA (V)
+    double writebackDelay = 0.0; ///< DRAM cell restore after sensing (s)
+    double prechargeDelay = 0.0; ///< bitline precharge/equalize time (s)
+    double readEnergy = 0.0;    ///< energy per column per read access (J)
+    double writeEnergy = 0.0;   ///< energy per column per write access (J)
+    double cellRestoreEnergy = 0.0; ///< DRAM cell recharge energy (J)
+    bool feasible = true;       ///< DRAM charge-sharing margin met
+};
+
+/**
+ * Required differential sense margin at the sense amplifier input (V).
+ * DRAM arrays whose charge-sharing signal falls below this margin are
+ * rejected as infeasible partitions.
+ */
+constexpr double kSenseMargin = 0.06;
+
+/**
+ * Build the bitline model of @p tech cells with @p rows cells attached
+ * to each bitline.
+ */
+BitlineModel makeBitline(const Technology &t, RamCellTech tech, int rows);
+
+/** As above with an explicit (e.g. port-adjusted) cell. */
+BitlineModel makeBitline(const Technology &t, const CellParams &cell,
+                         int rows);
+
+} // namespace cactid
+
+#endif // CACTID_CIRCUIT_BITLINE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tag comparator implementation.
+ */
+
+#include "circuit/comparator.hh"
+
+#include "circuit/gate_area.hh"
+#include "circuit/logic_gate.hh"
+
+namespace cactid {
+
+Comparator::Comparator(const Technology &t, DeviceKind dev, int n_bits)
+{
+    const DeviceParams &d = t.device(dev);
+    const double w = 2.0 * t.minWidth();
+
+    // XOR stage per bit (modeled as a NAND2-class gate), all discharging
+    // a shared dynamic match line.
+    const LogicGate xor_gate(GateType::Nand2, dev, w);
+    const double c_match =
+        n_bits * d.cJunction * w + 2e-15 /* keeper + output latch */;
+    const double r_pulldown = d.rNchOn() / w;
+
+    Edge e = stageDelay(Edge{}, xor_gate.resistance(t) *
+                                    (xor_gate.outputCap(t) + d.cGate * w));
+    e = stageDelay(e, r_pulldown * c_match);
+    delay_ = e.delay;
+    slope_ = e.slope;
+
+    energy_ = c_match * d.vdd * d.vdd +
+              n_bits * xor_gate.switchEnergy(t, d.cGate * w) * 0.5;
+    leakage_ = n_bits * xor_gate.leakage(t);
+    area_ = n_bits * gateFootprint(t, xor_gate, 0.0).area() * 2.0;
+}
+
+Edge
+Comparator::delay(const Edge &input) const
+{
+    return {input.delay + delay_, slope_};
+}
+
+} // namespace cactid

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tag comparator model: per-way XOR comparison discharging a dynamic
+ * match line, used by the cache tag path.
+ */
+
+#ifndef CACTID_CIRCUIT_COMPARATOR_HH
+#define CACTID_CIRCUIT_COMPARATOR_HH
+
+#include "circuit/delay.hh"
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/** Dynamic comparator for @p n_bits tag bits. */
+class Comparator
+{
+  public:
+    Comparator(const Technology &t, DeviceKind dev, int n_bits);
+
+    /** Match resolution edge given the tag-data-available edge. */
+    Edge delay(const Edge &input) const;
+
+    /** Energy of one comparison (J). */
+    double energy() const { return energy_; }
+
+    /** Standby leakage (W). */
+    double leakage() const { return leakage_; }
+
+    /** Layout area (m^2). */
+    double area() const { return area_; }
+
+  private:
+    double delay_ = 0.0;
+    double slope_ = 0.0;
+    double energy_ = 0.0;
+    double leakage_ = 0.0;
+    double area_ = 0.0;
+};
+
+} // namespace cactid
+
+#endif // CACTID_CIRCUIT_COMPARATOR_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Row decoder model implementation.
+ *
+ * Structure (after CACTI 5 / Amrutur-Horowitz):
+ *
+ *   address -> predecode NAND3 + buffer -> predecode lines
+ *           -> per-row NAND2/NAND3 row gate -> wordline driver -> WL RC
+ *
+ * Address bits are grouped three at a time into 3-to-8 predecode blocks;
+ * each row gate combines one output of each block.
+ */
+
+#include "circuit/decoder.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cactid {
+
+Decoder::Decoder(const Technology &t, DeviceKind dev, int n_rows,
+                 double c_wordline, double r_wordline, double row_pitch,
+                 double v_wordline)
+{
+    if (n_rows < 2)
+        throw std::invalid_argument("decoder needs at least 2 rows");
+
+    addressBits_ = static_cast<int>(std::ceil(std::log2(n_rows)));
+    const int groups = (addressBits_ + 2) / 3;
+    const GateType row_gate_type =
+        groups >= 3 ? GateType::Nand3 : GateType::Nand2;
+
+    // --- Wordline driver, pitch-matched to the row.
+    const DriverChain wl_drv = sizeDriverChain(
+        t, dev, 0.0, r_wordline, c_wordline, Edge{}, 0.0, row_pitch,
+        v_wordline);
+
+    // --- Row gate: one NAND per row, driving the wordline driver input.
+    const double w_row = 2.0 * t.minWidth();
+    const LogicGate row_gate(row_gate_type, dev, w_row);
+    const double r_row = row_gate.resistance(t);
+    const double tf_row =
+        r_row * (row_gate.outputCap(t) + wl_drv.inputCap);
+
+    // --- Predecode block: NAND3 + inverter buffer chain driving the
+    // predecode line, which is loaded by n_rows / 8 row-gate inputs (one
+    // in eight rows listens to each predecode output) plus the line wire.
+    const WireParams &wire = t.wire(WirePlane::Local);
+    const double line_len = n_rows * row_pitch;
+    const double c_line = wire.capPerM * line_len;
+    const double r_line = wire.resPerM * line_len;
+    const double fan_rows = std::max(1.0, n_rows / 8.0);
+    const double c_rowgates = fan_rows * row_gate.inputCap(t);
+
+    const double w_pre = 2.0 * t.minWidth();
+    const LogicGate pre_gate(GateType::Nand3, dev, w_pre);
+    const DriverChain pre_drv = sizeDriverChain(
+        t, dev, c_rowgates, r_line, c_line, Edge{}, 0.0, 0.0);
+    const double tf_pre =
+        pre_gate.resistance(t) * (pre_gate.outputCap(t) + pre_drv.inputCap);
+
+    // --- Delay: predecode gate -> predecode driver -> row gate -> WL drv.
+    Edge e = stageDelay(Edge{}, tf_pre);
+    e = sizeDriverChain(t, dev, c_rowgates, r_line, c_line, e).out;
+    e = stageDelay(e, tf_row);
+    {
+        const DriverChain wl =
+            sizeDriverChain(t, dev, 0.0, r_wordline, c_wordline, e, 0.0,
+                            row_pitch, v_wordline);
+        out_ = wl.out;
+    }
+
+    inputCap_ = 2.0 * pre_gate.inputCap(t); // true + complement
+
+    // --- Energy: per access one predecode line per group rises and one
+    // falls, one row gate and one wordline switch.
+    const double vdd = t.device(dev).vdd;
+    energy_ += groups * 2.0 *
+               (pre_drv.energy + (c_line + c_rowgates) * vdd * vdd);
+    energy_ += row_gate.switchEnergy(t, wl_drv.inputCap);
+    energy_ += wl_drv.energy;
+
+    // --- Leakage: every row gate and wordline driver leaks; predecode
+    // blocks contribute 8 gates + drivers per group.
+    leakage_ += n_rows * (row_gate.leakage(t) + wl_drv.leakage);
+    leakage_ += groups * 8.0 * (pre_gate.leakage(t) + pre_drv.leakage);
+
+    // --- Area: the decode strip next to the subarray.
+    const double row_gate_area =
+        gateFootprint(t, row_gate, row_pitch).area();
+    area_ += n_rows * (row_gate_area + wl_drv.area);
+    area_ += groups * 8.0 *
+             (gateFootprint(t, pre_gate, 0.0).area() + pre_drv.area);
+}
+
+} // namespace cactid

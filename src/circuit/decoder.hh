@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Row decoder model: 3-bit NAND3 predecode blocks driving per-row NAND
+ * row gates, followed by logical-effort sized wordline drivers (boosted
+ * to VPP for DRAM wordlines).
+ */
+
+#ifndef CACTID_CIRCUIT_DECODER_HH
+#define CACTID_CIRCUIT_DECODER_HH
+
+#include "circuit/driver.hh"
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/**
+ * A complete row decode path for one subarray: predecoders, row gates,
+ * and wordline drivers.
+ */
+class Decoder
+{
+  public:
+    /**
+     * @param t           technology
+     * @param dev         peripheral device flavour
+     * @param n_rows      number of decoded wordlines (>= 2)
+     * @param c_wordline  total capacitance of one wordline (F)
+     * @param r_wordline  total resistance of one wordline (ohm)
+     * @param row_pitch   cell height, used to pitch-match the wordline
+     *                    driver (m)
+     * @param v_wordline  wordline high level; > vdd models VPP boost
+     */
+    Decoder(const Technology &t, DeviceKind dev, int n_rows,
+            double c_wordline, double r_wordline, double row_pitch,
+            double v_wordline = 0.0);
+
+    /**
+     * Edge at the far end of the selected wordline.  The internal path
+     * is evaluated from a step input at construction; the incoming
+     * edge's delay is added and its slope ignored (the first predecode
+     * stage regenerates the edge).
+     */
+    Edge
+    delay(const Edge &input) const
+    {
+        return {input.delay + out_.delay, out_.slope};
+    }
+
+    /** Capacitance presented to each incoming address bit (F). */
+    double inputCap() const { return inputCap_; }
+
+    /** Dynamic energy of one decode (one row switches) (J). */
+    double energyPerAccess() const { return energy_; }
+
+    /** Standby leakage of the whole decode structure (W). */
+    double leakage() const { return leakage_; }
+
+    /** Layout area of the decode strip (m^2). */
+    double area() const { return area_; }
+
+    /** Number of address bits consumed. */
+    int addressBits() const { return addressBits_; }
+
+  private:
+    Edge out_;
+    double inputCap_ = 0.0;
+    double energy_ = 0.0;
+    double leakage_ = 0.0;
+    double area_ = 0.0;
+    int addressBits_ = 0;
+};
+
+} // namespace cactid
+
+#endif // CACTID_CIRCUIT_DECODER_HH

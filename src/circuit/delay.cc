@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Delay primitive implementations.
+ */
+
+#include "circuit/delay.hh"
+
+#include <cmath>
+
+namespace cactid {
+
+double
+horowitz(double input_slope, double tf, double vs)
+{
+    if (input_slope <= 0.0)
+        return tf * -std::log(vs);
+    const double a = input_slope / tf;
+    const double b = 0.5; // gate vth / vdd slope-sensitivity coefficient
+    const double lg = std::log(vs);
+    return tf * std::sqrt(lg * lg + 2.0 * a * b * (1.0 - vs));
+}
+
+Edge
+stageDelay(const Edge &input, double tf)
+{
+    Edge out;
+    const double d = horowitz(input.slope, tf, kSwitchingThreshold);
+    out.delay = input.delay + d;
+    // The output ramp of a stage is approximated from its delay: a 50%
+    // delay of d corresponds to a full-swing ramp of d / (1 - vs).
+    out.slope = d / (1.0 - kSwitchingThreshold);
+    return out;
+}
+
+double
+rcWireDelay(double r_drive, double r_wire, double c_wire, double c_load)
+{
+    return 0.69 * r_drive * (c_wire + c_load) +
+           0.38 * r_wire * c_wire + 0.69 * r_wire * c_load;
+}
+
+} // namespace cactid

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Delay primitives: the Horowitz slope-aware stage delay equation used
+ * throughout CACTI, and simple RC helpers.
+ */
+
+#ifndef CACTID_CIRCUIT_DELAY_HH
+#define CACTID_CIRCUIT_DELAY_HH
+
+namespace cactid {
+
+/** Switching threshold (fraction of VDD) assumed for all static gates. */
+constexpr double kSwitchingThreshold = 0.5;
+
+/**
+ * A signal edge: the delay accumulated so far and the slope (ramp time)
+ * of the edge, used as the input ramp of the next stage.
+ */
+struct Edge {
+    double delay = 0.0; ///< cumulative delay (s)
+    double slope = 0.0; ///< 0-to-100% ramp time of this edge (s)
+};
+
+/**
+ * Horowitz's approximation for the delay of a stage with a non-step
+ * input.
+ *
+ * @param input_slope ramp time of the input edge (s)
+ * @param tf          output RC time constant (s)
+ * @param vs          switching threshold as a fraction of VDD
+ * @return delay from input crossing vs to output crossing vs (s)
+ */
+double horowitz(double input_slope, double tf, double vs);
+
+/**
+ * Delay of one gate stage and the slope of its output edge.
+ *
+ * @param input       incoming edge
+ * @param tf          R*C time constant at the gate output (s)
+ */
+Edge stageDelay(const Edge &input, double tf);
+
+/**
+ * Delay of a distributed RC wire driven by a resistance @p r_drive into
+ * total wire resistance/capacitance @p r_wire / @p c_wire and load
+ * @p c_load (Elmore, 50% point).
+ */
+double rcWireDelay(double r_drive, double r_wire, double c_wire,
+                   double c_load);
+
+} // namespace cactid
+
+#endif // CACTID_CIRCUIT_DELAY_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Driver chain sizing implementation.
+ */
+
+#include "circuit/driver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cactid {
+
+DriverChain
+sizeDriverChain(const Technology &t, DeviceKind dev, double c_load,
+                double r_wire, double c_wire, const Edge &input,
+                double w_first, double height_limit, double v_swing)
+{
+    const DeviceParams &d = t.device(dev);
+    if (w_first <= 0.0)
+        w_first = t.minWidth();
+
+    const LogicGate first(GateType::Inv, dev, w_first);
+    const double c_in = first.inputCap(t);
+    const double c_total = c_load + c_wire;
+
+    // Optimal fanout of ~4 per stage.
+    const double fanout = std::max(1.0, c_total / c_in);
+    int stages = std::max(
+        1, static_cast<int>(std::lround(std::log(fanout) / std::log(4.0))));
+    const double f = std::pow(fanout, 1.0 / stages);
+
+    DriverChain res;
+    res.inputCap = c_in;
+    res.stages = stages;
+    Edge e = input;
+    const double v = v_swing > 0.0 ? v_swing : d.vdd;
+
+    double w = w_first;
+    for (int i = 0; i < stages; ++i) {
+        const LogicGate g(GateType::Inv, dev, w);
+        const bool last = i == stages - 1;
+        double c_next;
+        if (last) {
+            c_next = c_load;
+        } else {
+            const LogicGate next(GateType::Inv, dev, w * f);
+            c_next = next.inputCap(t);
+        }
+        const double r = g.resistance(t);
+        double tf = r * (g.outputCap(t) + c_next);
+        if (last) {
+            tf = r * (g.outputCap(t) + c_wire + c_next) +
+                 r_wire * (0.5 * c_wire + c_next);
+        }
+        e = stageDelay(e, tf);
+
+        const double v_stage = last ? v : d.vdd;
+        res.energy += (g.outputCap(t) + (last ? c_wire + c_load : c_next)) *
+                      d.vdd * v_stage;
+        res.leakage += g.leakage(t);
+        res.area += gateFootprint(t, g, height_limit).area();
+        w *= f;
+    }
+    res.out = e;
+    return res;
+}
+
+} // namespace cactid

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Logical-effort sized inverter driver chains (after Amrutur-Horowitz,
+ * the sizing methodology CACTI 5 adopts for decoders and drivers).
+ */
+
+#ifndef CACTID_CIRCUIT_DRIVER_HH
+#define CACTID_CIRCUIT_DRIVER_HH
+
+#include "circuit/delay.hh"
+#include "circuit/gate_area.hh"
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/** Metrics of a sized driver chain. */
+struct DriverChain {
+    Edge out;           ///< output edge for the given input edge
+    double inputCap = 0.0;  ///< capacitance of the first stage input (F)
+    double energy = 0.0;    ///< dynamic energy per switching event (J)
+    double leakage = 0.0;   ///< standby leakage power (W)
+    double area = 0.0;      ///< layout area (m^2)
+    int stages = 0;         ///< number of inverters
+};
+
+/**
+ * Size an inverter chain to drive a lumped load through an optional RC
+ * wire.
+ *
+ * @param t            technology
+ * @param dev          device flavour of the chain
+ * @param c_load       lumped load at the far end (F)
+ * @param r_wire       total wire resistance between chain and load (ohm)
+ * @param c_wire       total wire capacitance (F)
+ * @param input        edge at the chain input
+ * @param w_first      NMOS width of the first inverter (m); defaults to
+ *                     the minimum width
+ * @param height_limit pitch-matching height budget for the area model
+ * @param v_swing      output swing if different from VDD (e.g. boosted
+ *                     wordlines); affects energy only
+ */
+DriverChain sizeDriverChain(const Technology &t, DeviceKind dev,
+                            double c_load, double r_wire, double c_wire,
+                            const Edge &input, double w_first = 0.0,
+                            double height_limit = 0.0,
+                            double v_swing = 0.0);
+
+} // namespace cactid
+
+#endif // CACTID_CIRCUIT_DRIVER_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Analytical gate area model implementation.
+ *
+ * Layout-rule constants are expressed in feature sizes: a contacted poly
+ * pitch of ~4 F per transistor leg, 1 F diffusion-to-well spacing, and a
+ * 2 F N-to-P separation inside a gate.
+ */
+
+#include "circuit/gate_area.hh"
+
+#include <cmath>
+
+namespace cactid {
+
+namespace {
+
+constexpr double kPolyPitchInF = 4.0;  // width cost of one folded leg
+constexpr double kWellSpacingInF = 2.0;
+constexpr double kMinLegHeightInF = 3.0;
+
+} // namespace
+
+Footprint
+transistorFootprint(const Technology &t, double w, double height_limit)
+{
+    const double f = t.feature();
+    Footprint fp;
+    if (w <= 0.0)
+        return fp;
+    if (height_limit <= 0.0 || w <= height_limit) {
+        fp.width = kPolyPitchInF * f;
+        fp.height = std::max(w, kMinLegHeightInF * f);
+        return fp;
+    }
+    const int legs = static_cast<int>(std::ceil(w / height_limit));
+    fp.width = legs * kPolyPitchInF * f;
+    fp.height = std::max(w / legs, kMinLegHeightInF * f);
+    return fp;
+}
+
+Footprint
+gateFootprint(const Technology &t, const LogicGate &gate,
+              double height_limit)
+{
+    const double f = t.feature();
+    // The N and P devices sit in separate rows of the same column when
+    // the height budget allows, otherwise side by side.  We lay the
+    // devices out stacked (N row + P row) and fold each row.
+    const double n_budget =
+        height_limit > 0.0 ? height_limit / 2.0 : 0.0;
+
+    // Series stacks share diffusion, so all stack devices fold together.
+    Footprint n = transistorFootprint(
+        t, gate.wNmos() / gate.nmosStack(), n_budget);
+    n.width *= gate.nmosStack();
+    Footprint p = transistorFootprint(
+        t, gate.wPmos(t) / gate.pmosStack(), n_budget);
+    p.width *= gate.pmosStack();
+
+    Footprint fp;
+    fp.width = std::max(n.width, p.width);
+    fp.height = n.height + p.height + kWellSpacingInF * f;
+    if (height_limit > 0.0 && fp.height > height_limit) {
+        // Fall back to side-by-side placement within the height budget.
+        fp.width = n.width + p.width + kWellSpacingInF * f;
+        fp.height = std::max(n.height, p.height);
+    }
+    return fp;
+}
+
+} // namespace cactid

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Analytical, pitch-matched gate area model (paper section 2.3).
+ *
+ * Transistor areas are sensitive to sizing: a device that is wider than
+ * the height budget of its layout slot is folded into multiple legs.
+ * Pitch-matching constraints (wordline drivers matched to the cell
+ * height, sense amplifiers matched to the bitline pitch) are expressed
+ * through the height limit, which captures the area differences between
+ * SRAM and DRAM peripheral circuitry.
+ */
+
+#ifndef CACTID_CIRCUIT_GATE_AREA_HH
+#define CACTID_CIRCUIT_GATE_AREA_HH
+
+#include "circuit/logic_gate.hh"
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/** A rectangular layout footprint (m x m). */
+struct Footprint {
+    double width = 0.0;
+    double height = 0.0;
+
+    double area() const { return width * height; }
+};
+
+/**
+ * Footprint of a single transistor of width @p w folded to fit within
+ * @p height_limit (<= 0 means unconstrained: one leg).
+ *
+ * Each leg costs one gate pitch in the width direction (poly pitch:
+ * contacted gate plus diffusion contact).
+ */
+Footprint transistorFootprint(const Technology &t, double w,
+                              double height_limit);
+
+/**
+ * Footprint of a complete static gate (all NMOS and PMOS devices, wells
+ * and separation included) folded to @p height_limit.
+ */
+Footprint gateFootprint(const Technology &t, const LogicGate &gate,
+                        double height_limit);
+
+} // namespace cactid
+
+#endif // CACTID_CIRCUIT_GATE_AREA_HH

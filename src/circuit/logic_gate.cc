@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Static CMOS gate model implementation.
+ */
+
+#include "circuit/logic_gate.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cactid {
+
+int
+LogicGate::nmosStack() const
+{
+    switch (type_) {
+      case GateType::Inv: return 1;
+      case GateType::Nand2: return 2;
+      case GateType::Nand3: return 3;
+      case GateType::Nor2: return 1;
+    }
+    throw std::logic_error("unknown GateType");
+}
+
+int
+LogicGate::pmosStack() const
+{
+    return type_ == GateType::Nor2 ? 2 : 1;
+}
+
+double
+LogicGate::wPmos(const Technology &t) const
+{
+    const DeviceParams &d = t.device(dev_);
+    return wN_ * d.nToPDriveRatio * pmosStack();
+}
+
+double
+LogicGate::inputCap(const Technology &t) const
+{
+    const DeviceParams &d = t.device(dev_);
+    return d.cGate * (wNmos() + wPmos(t));
+}
+
+double
+LogicGate::outputCap(const Technology &t) const
+{
+    const DeviceParams &d = t.device(dev_);
+    // Only the devices adjacent to the output node contribute junction
+    // capacitance; stack-internal nodes are ignored (second order).
+    return d.cJunction * (wNmos() + wPmos(t));
+}
+
+double
+LogicGate::resistance(const Technology &t) const
+{
+    const DeviceParams &d = t.device(dev_);
+    // Stack widening keeps pull-down resistance equal to the equivalent
+    // inverter's: R = stack * rOn / (stack * wN) = rOn / wN.
+    const double r_down = d.rNchOn() / wN_;
+    const double r_up = d.rPchOn() * pmosStack() /
+                        (wN_ * d.nToPDriveRatio * pmosStack());
+    return std::max(r_down, r_up);
+}
+
+double
+LogicGate::leakage(const Technology &t) const
+{
+    // Average over input states: half the time the NMOS path leaks,
+    // half the time the PMOS path does; stacks leak less (stack factor).
+    const double stack_factor = 1.0 / nmosStack();
+    const double w_avg = (wNmos() * stack_factor + wPmos(t)) / 2.0;
+    return t.device(dev_).vdd * t.leakageCurrent(dev_, w_avg);
+}
+
+double
+LogicGate::switchEnergy(const Technology &t, double c_load) const
+{
+    const double v = t.device(dev_).vdd;
+    return (outputCap(t) + c_load) * v * v;
+}
+
+} // namespace cactid

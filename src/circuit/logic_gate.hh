@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Static CMOS gate model: input/output capacitances, effective switching
+ * resistance, leakage, and (via gate_area.hh) layout area for the gate
+ * types used in the decoder and driver paths.
+ */
+
+#ifndef CACTID_CIRCUIT_LOGIC_GATE_HH
+#define CACTID_CIRCUIT_LOGIC_GATE_HH
+
+#include <cstdint>
+
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/** Gate topologies used in the decode / drive paths. */
+enum class GateType : std::uint8_t { Inv, Nand2, Nand3, Nor2 };
+
+/**
+ * One static CMOS gate of a given topology and drive strength.
+ *
+ * The drive strength is expressed as the width of the equivalent
+ * inverter NMOS (`wN`); series stacks are automatically widened so the
+ * pull-down (or pull-up for NOR) matches that drive.
+ */
+class LogicGate
+{
+  public:
+    /**
+     * @param type gate topology
+     * @param dev  device flavour the gate is built from
+     * @param w_n  equivalent-inverter NMOS width (m)
+     */
+    LogicGate(GateType type, DeviceKind dev, double w_n)
+        : type_(type), dev_(dev), wN_(w_n)
+    {}
+
+    GateType type() const { return type_; }
+    DeviceKind deviceKind() const { return dev_; }
+
+    /** Equivalent-inverter NMOS width (m). */
+    double wN() const { return wN_; }
+
+    /** Number of series NMOS devices in the pull-down stack. */
+    int nmosStack() const;
+
+    /** Number of series PMOS devices in the pull-up stack. */
+    int pmosStack() const;
+
+    /** Actual NMOS device width after stack widening (m). */
+    double wNmos() const { return wN_ * nmosStack(); }
+
+    /** Actual PMOS device width (m); needs the technology's P/N ratio. */
+    double wPmos(const Technology &t) const;
+
+    /** Capacitance presented to one input (F). */
+    double inputCap(const Technology &t) const;
+
+    /** Parasitic (self-load) capacitance at the output (F). */
+    double outputCap(const Technology &t) const;
+
+    /** Effective switching resistance (worst of pull-up/down) (ohm). */
+    double resistance(const Technology &t) const;
+
+    /** Average standby leakage power (W). */
+    double leakage(const Technology &t) const;
+
+    /** Dynamic energy for one output transition into @p c_load (J). */
+    double switchEnergy(const Technology &t, double c_load) const;
+
+  private:
+    GateType type_;
+    DeviceKind dev_;
+    double wN_;
+};
+
+} // namespace cactid
+
+#endif // CACTID_CIRCUIT_LOGIC_GATE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sense amplifier model implementation.
+ */
+
+#include "circuit/senseamp.hh"
+
+#include <cmath>
+
+#include "circuit/gate_area.hh"
+
+namespace cactid {
+
+namespace {
+
+/** Devices in the latch + isolation + precharge structure. */
+constexpr int kSenseAmpDevices = 6;
+
+} // namespace
+
+SenseAmp::SenseAmp(const Technology &t, DeviceKind dev, double col_pitch)
+    : dev_(dev)
+{
+    // Latch devices a few minimum widths wide, folded under the column
+    // pitch by the gate area model.
+    width_ = 4.0 * t.minWidth();
+    const Footprint fp =
+        transistorFootprint(t, width_, 8.0 * col_pitch);
+    area_ = kSenseAmpDevices * fp.area() * 1.3; // wiring overhead
+}
+
+double
+SenseAmp::delay(const Technology &t, double margin) const
+{
+    const DeviceParams &d = t.device(dev_);
+    // Regeneration time constant of the cross-coupled pair: the latch
+    // drives its own gate + junction capacitance with transconductance
+    // gm ~= iOn / (vdd / 2).
+    const double c_node = (d.cGate + d.cJunction) * width_ * 2.0;
+    const double gm = d.iOnN * width_ / (d.vdd / 2.0);
+    const double tau = c_node / gm;
+    const double m = std::max(margin, 1e-3);
+    return tau * std::log(d.vdd / m) * 2.0;
+}
+
+double
+SenseAmp::energy(const Technology &t) const
+{
+    const DeviceParams &d = t.device(dev_);
+    const double c_internal = (d.cGate + d.cJunction) * width_ * 4.0;
+    return c_internal * d.vdd * d.vdd;
+}
+
+double
+SenseAmp::leakage(const Technology &t) const
+{
+    // Two of the four latch devices leak in either latched state.
+    return t.device(dev_).vdd * t.leakageCurrent(dev_, width_);
+}
+
+} // namespace cactid

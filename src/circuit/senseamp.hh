@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Latch-type sense amplifier model, pitch-matched to the bitline pitch
+ * (one amp per column pair for DRAM; one per muxed column group for
+ * SRAM).
+ */
+
+#ifndef CACTID_CIRCUIT_SENSEAMP_HH
+#define CACTID_CIRCUIT_SENSEAMP_HH
+
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/** One cross-coupled latch sense amplifier. */
+class SenseAmp
+{
+  public:
+    /**
+     * @param t         technology
+     * @param dev       device flavour of the latch
+     * @param col_pitch column pitch the amp must fit under (m)
+     */
+    SenseAmp(const Technology &t, DeviceKind dev, double col_pitch);
+
+    /**
+     * Amplification time from a differential input of @p margin volts to
+     * full rail (s).  Exponential regeneration: tau * ln(vdd / margin).
+     */
+    double delay(const Technology &t, double margin) const;
+
+    /** Energy of one sense operation (J). */
+    double energy(const Technology &t) const;
+
+    /** Standby leakage (W). */
+    double leakage(const Technology &t) const;
+
+    /** Layout area (m^2). */
+    double area() const { return area_; }
+
+  private:
+    DeviceKind dev_;
+    double width_;  ///< latch device width (m)
+    double area_ = 0.0;
+};
+
+} // namespace cactid
+
+#endif // CACTID_CIRCUIT_SENSEAMP_HH

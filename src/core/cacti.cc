@@ -1,0 +1,23 @@
+/**
+ * @file
+ * CACTI-D entry point implementation.
+ */
+
+#include "core/cacti.hh"
+
+namespace cactid {
+
+SolveResult
+solve(const Technology &t, const MemoryConfig &cfg)
+{
+    return optimize(cfg, enumerateSolutions(t, cfg));
+}
+
+SolveResult
+solve(const MemoryConfig &cfg)
+{
+    const Technology t(cfg.featureNm, cfg.temperatureK);
+    return solve(t, cfg);
+}
+
+} // namespace cactid

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Crossbar model implementation.
+ */
+
+#include "core/crossbar.hh"
+
+#include <cmath>
+
+#include "circuit/delay.hh"
+#include "circuit/logic_gate.hh"
+
+namespace cactid {
+
+Crossbar::Crossbar(const Technology &t, int n_ports, int bits_per_port,
+                   double route_length)
+{
+    const WireParams &wire = t.wire(WirePlane::Global);
+    const DeviceKind dev = DeviceKind::HpLongChannel;
+    const RepeatedWire rep(wire, t.device(dev), 1.0);
+
+    // Matrix of n*w horizontal and n*w vertical tracks.
+    const double side = n_ports * bits_per_port * wire.pitch;
+    area_ = side * side;
+    if (route_length <= 0.0)
+        route_length = side;
+
+    // Arbitration: log2(n) gate stages of NAND2-class logic.
+    const int arb_stages =
+        std::max(1, static_cast<int>(std::ceil(std::log2(n_ports)))) + 2;
+    const LogicGate arb(GateType::Nand2, dev, 4.0 * t.minWidth());
+    Edge e{};
+    for (int i = 0; i < arb_stages; ++i) {
+        e = stageDelay(e, arb.resistance(t) *
+                              (arb.outputCap(t) + arb.inputCap(t)));
+    }
+
+    delay_ = e.delay + rep.delayPerM() * route_length;
+    energy_ = bits_per_port *
+                  (rep.energyPerM() * route_length * 0.5) +
+              arb_stages * arb.switchEnergy(t, arb.inputCap(t));
+    leakage_ = rep.leakagePerM() * route_length *
+                   (2.0 * n_ports * bits_per_port) +
+               n_ports * arb_stages * arb.leakage(t);
+}
+
+} // namespace cactid

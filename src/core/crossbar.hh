@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Crossbar delay/energy model (after Orion, Wang et al. MICRO'02),
+ * used for the L2-to-L3 interconnect of the LLC study (paper
+ * section 4.1).
+ */
+
+#ifndef CACTID_CORE_CROSSBAR_HH
+#define CACTID_CORE_CROSSBAR_HH
+
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/** An n x n crossbar of w-bit links. */
+class Crossbar
+{
+  public:
+    /**
+     * @param t             technology
+     * @param n_ports       input (= output) ports
+     * @param bits_per_port link width in bits
+     * @param route_length  physical route length of one traversal (m);
+     *                      <= 0 derives it from the crossbar geometry
+     */
+    Crossbar(const Technology &t, int n_ports, int bits_per_port,
+             double route_length = 0.0);
+
+    /** One-way traversal delay incl. arbitration (s). */
+    double delay() const { return delay_; }
+
+    /** Energy of one w-bit transfer (J). */
+    double energyPerTransfer() const { return energy_; }
+
+    /** Repeater + arbiter leakage (W). */
+    double leakage() const { return leakage_; }
+
+    /** Layout area (m^2). */
+    double area() const { return area_; }
+
+  private:
+    double delay_ = 0.0;
+    double energy_ = 0.0;
+    double leakage_ = 0.0;
+    double area_ = 0.0;
+};
+
+} // namespace cactid
+
+#endif // CACTID_CORE_CROSSBAR_HH

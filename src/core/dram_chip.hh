@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Main-memory DRAM chip model (paper section 2.1): chip-level routing,
+ * pad/periphery area, burst handling, and refresh for a multi-bank
+ * commodity DRAM part.
+ */
+
+#ifndef CACTID_CORE_DRAM_CHIP_HH
+#define CACTID_CORE_DRAM_CHIP_HH
+
+#include "core/config.hh"
+#include "core/result.hh"
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/**
+ * Augment a per-bank solution with chip-level effects: global
+ * address/data routing across the die, pad-ring area overhead, READ and
+ * WRITE burst energies for the configured burst length, and whole-chip
+ * refresh power.
+ */
+void addChipLevel(const Technology &t, const MemoryConfig &cfg,
+                  Solution &s);
+
+} // namespace cactid
+
+#endif // CACTID_CORE_DRAM_CHIP_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Optimizer implementation.
+ */
+
+#include "core/optimizer.hh"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cactid {
+
+namespace {
+
+double
+minOf(const std::vector<Solution> &v, double Solution::*field)
+{
+    double m = std::numeric_limits<double>::infinity();
+    for (const Solution &s : v)
+        m = std::min(m, s.*field);
+    return m;
+}
+
+/** One normalized objective term; zero-valued metrics contribute 0. */
+double
+term(double weight, double value, double best)
+{
+    if (weight <= 0.0 || best <= 0.0)
+        return 0.0;
+    return weight * value / best;
+}
+
+} // namespace
+
+SolveResult
+optimize(const MemoryConfig &cfg, std::vector<Solution> all)
+{
+    if (all.empty())
+        throw std::runtime_error(
+            "no feasible solutions for " + cfg.summary());
+
+    SolveResult res;
+    res.all = all;
+
+    // --- Step 1: max area constraint.
+    const double best_area = minOf(all, &Solution::totalArea);
+    std::vector<Solution> pass;
+    for (const Solution &s : all) {
+        if (s.totalArea <= best_area * (1.0 + cfg.maxAreaConstraint))
+            pass.push_back(s);
+    }
+
+    // --- Step 2: max access time constraint within the area survivors.
+    const double best_time = minOf(pass, &Solution::accessTime);
+    std::vector<Solution> pass2;
+    for (const Solution &s : pass) {
+        if (s.accessTime <= best_time * (1.0 + cfg.maxAccTimeConstraint))
+            pass2.push_back(s);
+    }
+
+    // --- Step 3: normalized weighted objective.
+    const double e0 = minOf(pass2, &Solution::readEnergy);
+    const double l0 = minOf(pass2, &Solution::leakage);
+    const double rc0 = minOf(pass2, &Solution::randomCycle);
+    const double ic0 = minOf(pass2, &Solution::interleaveCycle);
+    const double at0 = minOf(pass2, &Solution::accessTime);
+    const double ar0 = minOf(pass2, &Solution::totalArea);
+
+    const OptimizationWeights &w = cfg.weights;
+    double best_obj = std::numeric_limits<double>::infinity();
+    for (Solution &s : pass2) {
+        s.objective = term(w.dynamicEnergy, s.readEnergy, e0) +
+                      term(w.leakage, s.leakage + s.refreshPower,
+                           l0 + 0.0) +
+                      term(w.randomCycle, s.randomCycle, rc0) +
+                      term(w.interleaveCycle, s.interleaveCycle, ic0) +
+                      term(w.accessTime, s.accessTime, at0) +
+                      term(w.area, s.totalArea, ar0);
+        if (s.objective < best_obj) {
+            best_obj = s.objective;
+            res.best = s;
+        }
+    }
+    res.filtered = std::move(pass2);
+    return res;
+}
+
+} // namespace cactid

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Solution optimizer (paper section 2.4): max-area constraint filter,
+ * then max-access-time constraint filter, then a normalized weighted
+ * objective over dynamic energy, leakage, random cycle time and
+ * multisubbank interleave cycle time.
+ */
+
+#ifndef CACTID_CORE_OPTIMIZER_HH
+#define CACTID_CORE_OPTIMIZER_HH
+
+#include <vector>
+
+#include "core/config.hh"
+#include "core/result.hh"
+
+namespace cactid {
+
+/**
+ * Apply the section-2.4 optimization process to the enumerated
+ * solutions.
+ *
+ * @throws std::runtime_error when @p all is empty.
+ */
+SolveResult optimize(const MemoryConfig &cfg, std::vector<Solution> all);
+
+} // namespace cactid
+
+#endif // CACTID_CORE_OPTIMIZER_HH

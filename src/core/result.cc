@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Solution reporting.
+ */
+
+#include "core/result.hh"
+
+#include <sstream>
+
+namespace cactid {
+
+std::string
+Solution::report() const
+{
+    std::ostringstream os;
+    os.precision(4);
+    os << "area: " << totalArea * 1e6 << " mm^2 (bank "
+       << bankArea * 1e6 << " mm^2, efficiency "
+       << areaEfficiency * 100.0 << "%)\n";
+    os << "access time: " << accessTime * 1e9 << " ns, random cycle: "
+       << randomCycle * 1e9 << " ns, interleave cycle: "
+       << interleaveCycle * 1e9 << " ns\n";
+    os << "read energy: " << readEnergy * 1e9 << " nJ, write energy: "
+       << writeEnergy * 1e9 << " nJ\n";
+    os << "leakage: " << leakage << " W, refresh: " << refreshPower
+       << " W\n";
+    os << "data array: " << data.part.rowsPerSubarray << "x"
+       << data.part.colsPerSubarray << " subarrays, " << data.nMats
+       << " mats (" << data.gridX << "x" << data.gridY << "), blmux "
+       << data.part.blMux << ", sammux " << data.part.samMux
+       << ", subbanks " << nSubbanks << "\n";
+    if (hasTag) {
+        os << "tag array: " << tag.part.rowsPerSubarray << "x"
+           << tag.part.colsPerSubarray << " subarrays, " << tag.nMats
+           << " mats\n";
+    }
+    if (tRc > 0.0) {
+        os << "tRCD " << tRcd * 1e9 << " ns, CAS " << tCas * 1e9
+           << " ns, tRP " << tRp * 1e9 << " ns, tRAS " << tRas * 1e9
+           << " ns, tRC " << tRc * 1e9 << " ns, tRRD " << tRrd * 1e9
+           << " ns\n";
+        os << "ACT energy " << activateEnergy * 1e9 << " nJ, READ "
+           << readBurstEnergy * 1e9 << " nJ, WRITE "
+           << writeBurstEnergy * 1e9 << " nJ\n";
+    }
+    return os.str();
+}
+
+} // namespace cactid

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Solution-space enumeration implementation.
+ */
+
+#include "core/solver.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/cache_model.hh"
+#include "core/dram_chip.hh"
+
+namespace cactid {
+
+std::vector<Solution>
+enumerateSolutions(const Technology &t, const MemoryConfig &cfg)
+{
+    cfg.validate();
+
+    BankSpec spec;
+    spec.sizeBits = cfg.bankBits();
+    spec.outputBits = cfg.dataOutputBits();
+    spec.tech = cfg.dataCellTech;
+    spec.repeaterDerate = cfg.repeaterDerate;
+    spec.sleepTransistors = cfg.sleepTransistors;
+    spec.ports = cfg.ports;
+    if (cfg.type == MemoryType::MainMemoryChip) {
+        spec.mainMemoryStyle = true;
+        // Commodity DRAM processes route with few, weak repeaters;
+        // derate the global networks accordingly.
+        spec.repeaterDerate = std::max(cfg.repeaterDerate, 2.5);
+        spec.pageBits = cfg.pageBytes * 8;
+        spec.ioDelay = cfg.ioDelay;
+        spec.ioEnergyPerBit = cfg.ioEnergyPerBit;
+    }
+
+    std::optional<TagPath> tag;
+    if (cfg.type == MemoryType::Cache)
+        tag = solveTagPath(t, cfg);
+
+    const PartitionLimits limits;
+    const auto partitions = enumeratePartitions(
+        spec.sizeBits, spec.outputBits, spec.tech, limits);
+
+    std::vector<Solution> out;
+    out.reserve(partitions.size());
+    for (const Partition &p : partitions) {
+        const BankMetrics bank = buildBank(t, spec, p);
+        if (!bank.feasible)
+            continue;
+        Solution s = combineSolution(t, cfg, bank, tag);
+        if (cfg.type == MemoryType::MainMemoryChip)
+            addChipLevel(t, cfg, s);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace cactid

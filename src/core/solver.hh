@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Solution-space enumeration: builds every feasible array organization
+ * for a MemoryConfig.
+ */
+
+#ifndef CACTID_CORE_SOLVER_HH
+#define CACTID_CORE_SOLVER_HH
+
+#include <vector>
+
+#include "core/config.hh"
+#include "core/result.hh"
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/**
+ * Enumerate every feasible complete solution for @p cfg.  For caches the
+ * tag array is solved once (latency-optimal) and combined with each
+ * feasible data organization; for main-memory chips chip-level routing
+ * and interface effects are added by the DRAM chip model.
+ */
+std::vector<Solution> enumerateSolutions(const Technology &t,
+                                         const MemoryConfig &cfg);
+
+} // namespace cactid
+
+#endif // CACTID_CORE_SOLVER_HH

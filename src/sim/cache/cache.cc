@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Set-associative cache implementation.
+ */
+
+#include "sim/cache/cache.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace archsim {
+
+SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, int assoc,
+                             int line_bytes)
+    : assoc_(assoc), lineBytes_(line_bytes)
+{
+    if (capacity_bytes == 0 || assoc <= 0 || line_bytes <= 0)
+        throw std::invalid_argument("bad cache geometry");
+    sets_ = capacity_bytes / (std::uint64_t(assoc) * line_bytes);
+    if (sets_ == 0 || (sets_ & (sets_ - 1)) != 0)
+        throw std::invalid_argument(
+            "cache must have a power-of-two number of sets");
+    lines_.resize(sets_ * assoc_);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr / lineBytes_) & (sets_ - 1);
+}
+
+SetAssocCache::Line *
+SetAssocCache::find(Addr addr)
+{
+    Line *l = probe(addr);
+    if (l)
+        l->lastUse = ++useClock_;
+    return l;
+}
+
+SetAssocCache::Line *
+SetAssocCache::probe(Addr addr)
+{
+    const Addr tag = addr / lineBytes_;
+    Line *set = &lines_[setIndex(addr) * assoc_];
+    for (int w = 0; w < assoc_; ++w) {
+        if (set[w].state != CState::Invalid && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+SetAssocCache::Victim
+SetAssocCache::insert(Addr addr, CState st)
+{
+    assert(probe(addr) == nullptr && "line already present");
+    const Addr tag = addr / lineBytes_;
+    Line *set = &lines_[setIndex(addr) * assoc_];
+    Line *victim = &set[0];
+    for (int w = 0; w < assoc_; ++w) {
+        if (set[w].state == CState::Invalid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+
+    Victim out;
+    if (victim->state != CState::Invalid) {
+        out.valid = true;
+        out.addr = victim->tag * lineBytes_;
+        out.state = victim->state;
+    }
+    victim->tag = tag;
+    victim->state = st;
+    victim->lastUse = ++useClock_;
+    return out;
+}
+
+void
+SetAssocCache::invalidate(Addr addr)
+{
+    if (Line *l = probe(addr))
+        l->state = CState::Invalid;
+}
+
+} // namespace archsim

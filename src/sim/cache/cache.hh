@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Set-associative cache array with MESI line states and LRU
+ * replacement: the building block of the simulated L1 / L2 / L3.
+ */
+
+#ifndef ARCHSIM_CACHE_CACHE_HH
+#define ARCHSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/common.hh"
+
+namespace archsim {
+
+/** MESI coherence states. */
+enum class CState : std::uint8_t { Invalid, Shared, Exclusive, Modified };
+
+/** True if the state permits stores without an upgrade. */
+constexpr bool
+writable(CState s)
+{
+    return s == CState::Exclusive || s == CState::Modified;
+}
+
+/** A set-associative cache tag/state array. */
+class SetAssocCache
+{
+  public:
+    /** One cache line's bookkeeping. */
+    struct Line {
+        Addr tag = 0;
+        CState state = CState::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Result of an insertion: the evicted victim, if any. */
+    struct Victim {
+        bool valid = false;
+        Addr addr = 0;         ///< full line-aligned address
+        CState state = CState::Invalid;
+    };
+
+    /**
+     * @param capacity_bytes total capacity
+     * @param assoc          ways per set
+     * @param line_bytes     line size
+     */
+    SetAssocCache(std::uint64_t capacity_bytes, int assoc,
+                  int line_bytes);
+
+    /** Find the line holding @p addr, or nullptr.  Updates LRU. */
+    Line *find(Addr addr);
+
+    /** Find without disturbing LRU (for probes/snoops). */
+    Line *probe(Addr addr);
+
+    /**
+     * Insert @p addr in state @p st, evicting the LRU way of its set
+     * if no way is free.  @p addr must not already be present.
+     */
+    Victim insert(Addr addr, CState st);
+
+    /** Drop @p addr if present (back-invalidation / snoop). */
+    void invalidate(Addr addr);
+
+    int lineBytes() const { return lineBytes_; }
+    std::uint64_t sets() const { return sets_; }
+    int assoc() const { return assoc_; }
+
+    /** Line-aligned address. */
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return addr & ~Addr(lineBytes_ - 1);
+    }
+
+  private:
+    std::uint64_t setIndex(Addr addr) const;
+
+    std::uint64_t sets_;
+    int assoc_;
+    int lineBytes_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Line> lines_; ///< sets_ * assoc_, set-major
+};
+
+} // namespace archsim
+
+#endif // ARCHSIM_CACHE_CACHE_HH

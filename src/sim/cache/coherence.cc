@@ -1,0 +1,241 @@
+/**
+ * @file
+ * MESI cache hierarchy implementation.
+ */
+
+#include "sim/cache/coherence.hh"
+
+#include <algorithm>
+
+namespace archsim {
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &p)
+    : p_(p), mem_(p.dram)
+{
+    for (int c = 0; c < p.nCores; ++c) {
+        l1i_.emplace_back(p.l1Bytes, p.l1Assoc, p.lineBytes);
+        l1d_.emplace_back(p.l1Bytes, p.l1Assoc, p.lineBytes);
+        l2_.emplace_back(p.l2Bytes, p.l2Assoc, p.lineBytes);
+    }
+    if (p.llc)
+        llc_ = std::make_unique<Llc>(*p.llc);
+}
+
+void
+CacheHierarchy::fillL1(SetAssocCache &l1, int core, Addr line, CState st,
+                       Cycle now)
+{
+    const SetAssocCache::Victim v = l1.insert(line, st);
+    if (v.valid && v.state == CState::Modified) {
+        // L1 dirty victim folds into the (inclusive) L2 copy.
+        if (SetAssocCache::Line *l = l2_[core].probe(v.addr))
+            l->state = CState::Modified;
+    }
+    (void)now;
+}
+
+void
+CacheHierarchy::writebackFromL2(Addr line, Cycle now)
+{
+    if (llc_) {
+        ++counters_.xbarTransfers;
+        llc_->writeback(line, now);
+    } else {
+        mem_.access(line, true, now);
+    }
+}
+
+void
+CacheHierarchy::fillL2(int core, Addr line, CState st, Cycle now)
+{
+    ++counters_.l2Writes;
+    const SetAssocCache::Victim v = l2_[core].insert(line, st);
+    if (v.valid) {
+        // Inclusion: the L1s may not keep a line the L2 dropped.
+        l1i_[core].invalidate(v.addr);
+        l1d_[core].invalidate(v.addr);
+        if (v.state == CState::Modified)
+            writebackFromL2(v.addr, now);
+    }
+}
+
+Cycle
+CacheHierarchy::fetchFromBeyondL2(int core, Addr line, bool write,
+                                  Cycle now, ServedBy &served)
+{
+    // --- Snoop the other cores' L2s (MESI).
+    int dirty_owner = -1;
+    bool shared_elsewhere = false;
+    for (int o = 0; o < p_.nCores; ++o) {
+        if (o == core)
+            continue;
+        if (SetAssocCache::Line *l = l2_[o].probe(line)) {
+            shared_elsewhere = true;
+            if (l->state == CState::Modified)
+                dirty_owner = o;
+            if (write || l->state == CState::Modified) {
+                // Invalidate on write; an M owner also loses the line
+                // on a read in this forwarding implementation (M -> I
+                // with the L3/memory copy refreshed).
+                if (write || dirty_owner == o) {
+                    l2_[o].invalidate(line);
+                    l1i_[o].invalidate(line);
+                    l1d_[o].invalidate(line);
+                }
+            } else if (!write) {
+                // Downgrade to Shared -- including the L1 copies, or a
+                // stale Exclusive L1 line would later accept a silent
+                // store alongside the new sharers.
+                l->state = CState::Shared;
+                if (SetAssocCache::Line *d = l1d_[o].probe(line))
+                    d->state = CState::Shared;
+                if (SetAssocCache::Line *i = l1i_[o].probe(line))
+                    i->state = CState::Shared;
+            }
+        }
+    }
+
+    Cycle lat = 0;
+    if (dirty_owner >= 0) {
+        // Cache-to-cache forward through the crossbar, refreshing the
+        // L3 copy on the way.
+        ++counters_.c2cTransfers;
+        counters_.xbarTransfers += 2;
+        ++counters_.l2Reads; // remote array read
+        lat = p_.xbarCycles + p_.l2Cycles + p_.xbarCycles;
+        if (llc_)
+            llc_->markDirty(line);
+        else
+            mem_.access(line, true, now + lat);
+        served = ServedBy::RemoteL2;
+        fillL2(core, line, write ? CState::Modified : CState::Shared,
+               now + lat);
+        return lat;
+    }
+
+    // --- L3 (if present).
+    if (llc_) {
+        ++counters_.xbarTransfers;
+        const Llc::Access a = llc_->lookup(line, false, now);
+        lat = p_.xbarCycles + a.latency + p_.xbarCycles;
+        ++counters_.xbarTransfers;
+        if (a.hit) {
+            served = ServedBy::L3;
+        } else {
+            // Fetch from memory and fill the L3.
+            const Cycle mem_lat = mem_.access(line, false, now + lat);
+            lat += mem_lat;
+            const SetAssocCache::Victim v =
+                llc_->fill(line, false, now + lat);
+            if (v.valid && v.state == CState::Modified)
+                mem_.access(v.addr, true, now + lat);
+            // L3 inclusion of the L2s is not enforced (the L3 is large;
+            // the directory is the L2 snoop above).
+            served = ServedBy::Memory;
+        }
+    } else {
+        lat = mem_.access(line, false, now);
+        served = ServedBy::Memory;
+    }
+
+    CState st;
+    if (write)
+        st = CState::Modified;
+    else
+        st = shared_elsewhere ? CState::Shared : CState::Exclusive;
+    fillL2(core, line, st, now + lat);
+    return lat;
+}
+
+CState
+CacheHierarchy::l2State(int core, Addr addr)
+{
+    const Addr line = l2_[core].lineAddr(addr);
+    SetAssocCache::Line *l = l2_[core].probe(line);
+    return l ? l->state : CState::Invalid;
+}
+
+bool
+CacheHierarchy::coherent(Addr addr)
+{
+    int owners = 0;
+    int sharers = 0;
+    for (int c = 0; c < p_.nCores; ++c) {
+        switch (l2State(c, addr)) {
+          case CState::Modified:
+          case CState::Exclusive:
+            ++owners;
+            break;
+          case CState::Shared:
+            ++sharers;
+            break;
+          case CState::Invalid:
+            break;
+        }
+    }
+    // Single-writer: an owner excludes every other copy.
+    return owners == 0 || (owners == 1 && sharers == 0);
+}
+
+CacheHierarchy::Result
+CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
+                       Cycle now)
+{
+    SetAssocCache &l1 = ifetch ? l1i_[core] : l1d_[core];
+    const Addr line = l1.lineAddr(addr);
+    Result r;
+
+    write ? ++counters_.l1Writes : ++counters_.l1Reads;
+
+    // --- L1.
+    if (SetAssocCache::Line *l = l1.find(line)) {
+        if (!write || writable(l->state)) {
+            if (write)
+                l->state = CState::Modified;
+            r.latency = p_.l1Cycles;
+            r.servedBy = ServedBy::L1;
+            return r;
+        }
+        // Store to a Shared line: upgrade through the L2.
+        l->state = CState::Invalid;
+    }
+
+    // --- L2.
+    ++counters_.l2Reads;
+    if (SetAssocCache::Line *l = l2_[core].find(line)) {
+        if (!write || writable(l->state)) {
+            if (write)
+                l->state = CState::Modified;
+            fillL1(l1, core, line,
+                   write ? CState::Modified : l->state, now);
+            r.latency = p_.l1Cycles + p_.l2Cycles;
+            r.servedBy = ServedBy::L2;
+            return r;
+        }
+        // Write upgrade: invalidate the other sharers (crossbar round).
+        for (int o = 0; o < p_.nCores; ++o) {
+            if (o == core)
+                continue;
+            l2_[o].invalidate(line);
+            l1i_[o].invalidate(line);
+            l1d_[o].invalidate(line);
+        }
+        counters_.xbarTransfers += 2;
+        l->state = CState::Modified;
+        fillL1(l1, core, line, CState::Modified, now);
+        r.latency = p_.l1Cycles + p_.l2Cycles + 2 * p_.xbarCycles;
+        r.servedBy = ServedBy::L2;
+        return r;
+    }
+
+    // --- Beyond the private levels.
+    ServedBy served = ServedBy::Memory;
+    const Cycle beyond = fetchFromBeyondL2(core, line, write, now, served);
+    fillL1(l1, core, line, write ? CState::Modified : CState::Shared,
+           now);
+    r.latency = p_.l1Cycles + p_.l2Cycles + beyond;
+    r.servedBy = served;
+    return r;
+}
+
+} // namespace archsim

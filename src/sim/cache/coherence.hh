@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The full cache hierarchy with MESI coherence (paper section 3.3: "A
+ * MESI protocol is used for cache coherency").
+ *
+ * Private per-core L1 I/D and unified L2 caches; an optional shared
+ * banked L3 behind the crossbar; main memory behind that.  Coherence is
+ * kept at the L2 level by snooping the other cores' L2 arrays on an L2
+ * miss or write upgrade (functionally a full-map directory).  L1s are
+ * inclusive in their L2 and back-invalidated.
+ */
+
+#ifndef ARCHSIM_CACHE_COHERENCE_HH
+#define ARCHSIM_CACHE_COHERENCE_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/cache/cache.hh"
+#include "sim/cache/llc.hh"
+#include "sim/common.hh"
+#include "sim/dram/dram.hh"
+
+namespace archsim {
+
+/** Hierarchy latency/geometry parameters (from CACTI-D, quantized). */
+struct HierarchyParams {
+    int nCores = 8;
+    int lineBytes = 64;
+
+    std::uint64_t l1Bytes = 32 << 10;
+    int l1Assoc = 8;
+    Cycle l1Cycles = 2;
+
+    std::uint64_t l2Bytes = 1 << 20;
+    int l2Assoc = 8;
+    Cycle l2Cycles = 3;
+
+    Cycle xbarCycles = 2;   ///< one crossbar traversal
+    std::optional<LlcParams> llc; ///< absent for the no-L3 system
+    DramParams dram;
+};
+
+/** Which level serviced a request (for cycle attribution). */
+enum class ServedBy : std::uint8_t { L1, L2, RemoteL2, L3, Memory };
+
+/** Per-structure access counters consumed by the power model. */
+struct HierCounters {
+    std::uint64_t l1Reads = 0;
+    std::uint64_t l1Writes = 0;
+    std::uint64_t l2Reads = 0;
+    std::uint64_t l2Writes = 0;
+    std::uint64_t xbarTransfers = 0;
+    std::uint64_t c2cTransfers = 0;
+};
+
+/** The memory hierarchy of the simulated chip. */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyParams &p);
+
+    /** Outcome of one timed access. */
+    struct Result {
+        Cycle latency = 0;
+        ServedBy servedBy = ServedBy::L1;
+    };
+
+    /**
+     * Perform one data or instruction access for @p core.
+     *
+     * @param core   requesting core id
+     * @param addr   byte address
+     * @param write  true for stores
+     * @param ifetch true for instruction fetches (L1I, read-only)
+     * @param now    current cycle
+     */
+    Result access(int core, Addr addr, bool write, bool ifetch,
+                  Cycle now);
+
+    /**
+     * MESI state of @p addr in @p core's L2 (probe only; for tests and
+     * assertions).
+     */
+    CState l2State(int core, Addr addr);
+
+    /**
+     * Check the MESI invariants for @p addr across all cores: a
+     * Modified or Exclusive copy must be the only copy.
+     * @return true when the invariants hold
+     */
+    bool coherent(Addr addr);
+
+    const HierCounters &counters() const { return counters_; }
+    const DramCounters &dramCounters() const { return mem_.counters(); }
+    MemorySystem &memory() { return mem_; }
+    const Llc *llc() const { return llc_.get(); }
+    const HierarchyParams &params() const { return p_; }
+
+  private:
+    /** Fetch a line into the shared levels; returns added latency. */
+    Cycle fetchFromBeyondL2(int core, Addr line, bool write, Cycle now,
+                            ServedBy &served);
+
+    /** Install into L2+L1, handling inclusion victims. */
+    void fillL2(int core, Addr line, CState st, Cycle now);
+    void fillL1(SetAssocCache &l1, int core, Addr line, CState st,
+                Cycle now);
+
+    /** Evict a dirty L2 line toward L3 / memory. */
+    void writebackFromL2(Addr line, Cycle now);
+
+    HierarchyParams p_;
+    std::vector<SetAssocCache> l1i_;
+    std::vector<SetAssocCache> l1d_;
+    std::vector<SetAssocCache> l2_;
+    std::unique_ptr<Llc> llc_;
+    MemorySystem mem_;
+    HierCounters counters_;
+};
+
+} // namespace archsim
+
+#endif // ARCHSIM_CACHE_COHERENCE_HH

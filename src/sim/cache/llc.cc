@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Banked LLC implementation.
+ */
+
+#include "sim/cache/llc.hh"
+
+#include <algorithm>
+
+namespace archsim {
+
+Llc::Llc(const LlcParams &p)
+    : p_(p), array_(p.capacityBytes, p.assoc, p.lineBytes),
+      bankFree_(p.nBanks, 0),
+      subbankFree_(std::size_t(p.nBanks) * p.nSubbanks, 0),
+      openPage_(std::size_t(p.nBanks) * p.nSubbanks, -1)
+{
+}
+
+std::uint64_t
+Llc::pageOf(Addr addr) const
+{
+    // Set index and way capacity inside one bank.
+    const std::uint64_t sets =
+        array_.sets() / std::uint64_t(p_.nBanks);
+    const std::uint64_t set =
+        (addr / (std::uint64_t(p_.lineBytes) * p_.nBanks)) % sets;
+    const std::uint64_t lines_per_page =
+        std::max<std::uint64_t>(1, p_.pageBytes / p_.lineBytes);
+
+    if (p_.mapping == SetMapping::SetPerPage) {
+        // Figure 3(a): a whole set's ways live in one page, so
+        // consecutive pages hold consecutive set groups.
+        const std::uint64_t sets_per_page =
+            std::max<std::uint64_t>(1, lines_per_page / p_.assoc);
+        return set / sets_per_page;
+    }
+    // Figure 3(b): a page holds the same way of sequential sets; which
+    // way a line lands in is replacement-dependent, modeled by hashing
+    // the tag over the ways.
+    const std::uint64_t way =
+        (addr / (std::uint64_t(p_.lineBytes) * p_.nBanks * sets)) %
+        std::uint64_t(p_.assoc);
+    return way * 1024 + set / lines_per_page;
+}
+
+Cycle
+Llc::pageAccess(Addr addr)
+{
+    const int b = bank(addr);
+    const int sub =
+        int((addr / (std::uint64_t(p_.lineBytes) * p_.nBanks)) %
+            p_.nSubbanks);
+    std::int64_t &open =
+        openPage_[std::size_t(b) * p_.nSubbanks + sub];
+    const auto page = std::int64_t(pageOf(addr));
+    if (open == page) {
+        ++pageHits;
+        return p_.pageHitCycles;
+    }
+    ++pageMisses;
+    open = page;
+    return p_.pageMissCycles;
+}
+
+int
+Llc::bank(Addr addr) const
+{
+    return int((addr / p_.lineBytes) % p_.nBanks);
+}
+
+Cycle
+Llc::reserve(Addr addr, Cycle now)
+{
+    const int b = bank(addr);
+    const int sub =
+        int((addr / (std::uint64_t(p_.lineBytes) * p_.nBanks)) %
+            p_.nSubbanks);
+    Cycle &bank_free = bankFree_[b];
+    Cycle &sub_free = subbankFree_[std::size_t(b) * p_.nSubbanks + sub];
+
+    const Cycle start = std::max({now, bank_free, sub_free});
+    bank_free = start + p_.interleaveCycles;
+    sub_free = start + p_.randomCycles;
+    return start - now;
+}
+
+Llc::Access
+Llc::lookup(Addr addr, bool write, Cycle now)
+{
+    Access a;
+    const Cycle wait = reserve(addr, now);
+    a.latency = wait + (p_.pageMode ? pageAccess(addr)
+                                    : p_.accessCycles);
+    write ? ++writes : ++reads;
+
+    SetAssocCache::Line *l = array_.find(addr);
+    if (l) {
+        a.hit = true;
+        ++hits;
+        if (write)
+            l->state = CState::Modified;
+    } else {
+        ++misses;
+    }
+    return a;
+}
+
+SetAssocCache::Victim
+Llc::fill(Addr addr, bool dirty, Cycle now)
+{
+    reserve(addr, now);
+    ++writes;
+    return array_.insert(addr,
+                         dirty ? CState::Modified : CState::Exclusive);
+}
+
+void
+Llc::writeback(Addr addr, Cycle now)
+{
+    reserve(addr, now);
+    ++writes;
+    if (SetAssocCache::Line *l = array_.probe(addr))
+        l->state = CState::Modified;
+}
+
+void
+Llc::markDirty(Addr addr)
+{
+    if (SetAssocCache::Line *l = array_.probe(addr))
+        l->state = CState::Modified;
+}
+
+} // namespace archsim

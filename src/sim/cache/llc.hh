@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Banked last-level cache with multisubbank-interleaved timing.
+ *
+ * The LLC of the study (paper section 3.1) has 8 banks, one per core
+ * tile, reached through a crossbar.  Each bank accepts a new access
+ * every multisubbank interleave cycle; back-to-back accesses that land
+ * in the same subbank must respect the (longer) random cycle time --
+ * exactly the operational model of paper section 2.3.4 (SRAM-like
+ * interface with multisubbank interleaving).
+ */
+
+#ifndef ARCHSIM_CACHE_LLC_HH
+#define ARCHSIM_CACHE_LLC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache/cache.hh"
+#include "sim/common.hh"
+
+namespace archsim {
+
+/** How cache sets map onto DRAM pages (paper Figure 3). */
+enum class SetMapping : std::uint8_t {
+    SetPerPage,   ///< (a) a cache set (all its ways) maps to one page
+    Striped,      ///< (b) sets striped across pages: a page holds the
+                  ///< same way of consecutive sets
+};
+
+/** Timing/geometry parameters of the LLC (from CACTI-D). */
+struct LlcParams {
+    std::uint64_t capacityBytes = 0;
+    int assoc = 16;
+    int lineBytes = 64;
+    int nBanks = 8;
+    int nSubbanks = 16;          ///< interleavable units per bank
+    Cycle accessCycles = 5;      ///< bank access latency
+    Cycle interleaveCycles = 1;  ///< new access per bank (diff subbank)
+    Cycle randomCycles = 3;      ///< same-subbank back-to-back
+
+    // --- Optional main-memory-like (page mode) operation, paper
+    // section 3.4: open pages of DRAM sense amplifiers, with the
+    // set-to-page mapping choice of Figure 3.
+    bool pageMode = false;
+    std::uint64_t pageBytes = 8192 / 8; ///< page per subbank (1KB)
+    SetMapping mapping = SetMapping::SetPerPage;
+    Cycle pageHitCycles = 3;     ///< access when the page is open
+    Cycle pageMissCycles = 9;    ///< precharge + activate + access
+};
+
+/** The shared, banked L3. */
+class Llc
+{
+  public:
+    explicit Llc(const LlcParams &p);
+
+    /** Result of a timed bank access. */
+    struct Access {
+        bool hit = false;
+        Cycle latency = 0;  ///< queue wait + access latency
+        Addr victimAddr = 0;
+        bool victimDirty = false;
+    };
+
+    /**
+     * Timed lookup.  On a miss the line is NOT filled (the caller fills
+     * after memory returns, via fill()).
+     */
+    Access lookup(Addr addr, bool write, Cycle now);
+
+    /** Install a line fetched from memory; returns the victim. */
+    SetAssocCache::Victim fill(Addr addr, bool dirty, Cycle now);
+
+    /** Write back a dirty L2 victim into the L3. */
+    void writeback(Addr addr, Cycle now);
+
+    /** Mark a line dirty (L2 wrote through its eviction). */
+    void markDirty(Addr addr);
+
+    /** Bank index of an address. */
+    int bank(Addr addr) const;
+
+    // --- Access counters for the power model.
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t pageHits = 0;
+    std::uint64_t pageMisses = 0;
+
+  private:
+    /** Book bank occupancy; returns the queueing delay. */
+    Cycle reserve(Addr addr, Cycle now);
+
+    /** Page-mode access cost; updates the open page (section 3.4). */
+    Cycle pageAccess(Addr addr);
+
+    /** DRAM page index of a line under the configured mapping. */
+    std::uint64_t pageOf(Addr addr) const;
+
+    LlcParams p_;
+    SetAssocCache array_;
+    std::vector<Cycle> bankFree_;
+    std::vector<Cycle> subbankFree_;
+    std::vector<std::int64_t> openPage_; ///< per (bank, subbank)
+};
+
+} // namespace archsim
+
+#endif // ARCHSIM_CACHE_LLC_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared basic types for the architectural simulator.
+ */
+
+#ifndef ARCHSIM_COMMON_HH
+#define ARCHSIM_COMMON_HH
+
+#include <cstdint>
+
+namespace archsim {
+
+using Addr = std::uint64_t;   ///< physical byte address
+using Cycle = std::uint64_t;  ///< CPU clock cycles (2 GHz in the study)
+
+/** Deterministic xorshift64* PRNG (no global state, fully seedable). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b9)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1DULL;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform integer in [0, n). */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace archsim
+
+#endif // ARCHSIM_COMMON_HH

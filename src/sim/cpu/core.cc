@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Thread/core timing implementation.
+ */
+
+#include "sim/cpu/core.hh"
+
+#include <limits>
+
+namespace archsim {
+
+void
+SyncState::maybeRelease(Cycle now)
+{
+    int active_waiting = 0;
+    int active = 0;
+    for (Thread *t : threads_) {
+        if (t->done())
+            continue;
+        ++active;
+        if (t->waitingBarrier)
+            ++active_waiting;
+    }
+    if (active == 0 || active_waiting < active)
+        return;
+    // Everyone still running has arrived: release.
+    for (Thread *t : threads_) {
+        if (!t->waitingBarrier)
+            continue;
+        t->waitingBarrier = false;
+        t->stats.barrier += now + 1 - t->blockedSince;
+        t->readyAt = now + 1;
+    }
+    arrived_ = 0;
+}
+
+void
+SyncState::arriveBarrier(Thread &t, Cycle now)
+{
+    t.waitingBarrier = true;
+    t.blockedSince = now;
+    ++arrived_;
+    maybeRelease(now);
+}
+
+void
+SyncState::threadFinished(Cycle now)
+{
+    // A thread that retires its budget between Lock and Unlock must not
+    // strand the waiters.
+    if (holder_ && holder_->done())
+        releaseLock(now);
+    maybeRelease(now);
+}
+
+bool
+SyncState::acquireLock(Thread &t, Cycle now)
+{
+    if (!lockHeld_) {
+        lockHeld_ = true;
+        holder_ = &t;
+        return true;
+    }
+    t.waitingLock = true;
+    t.blockedSince = now;
+    lockQueue_.push_back(&t);
+    return false;
+}
+
+void
+SyncState::releaseLock(Cycle now)
+{
+    if (lockQueue_.empty()) {
+        lockHeld_ = false;
+        holder_ = nullptr;
+        return;
+    }
+    Thread *next = lockQueue_.front();
+    lockQueue_.pop_front();
+    next->waitingLock = false;
+    next->stats.lock += now + 1 - next->blockedSince;
+    next->readyAt = now + 1;
+    holder_ = next; // the lock passes to the woken thread
+}
+
+void
+Core::execute(Thread &t, Cycle now, CacheHierarchy &hier,
+              SyncState &sync)
+{
+    const Inst inst = t.source->next();
+    ++t.stats.instructions;
+
+    switch (inst.op) {
+      case Op::Fp:
+        t.stats.busy += 1;
+        t.readyAt = now + 1;
+        break;
+      case Op::Other:
+        t.stats.busy += 4;
+        t.readyAt = now + 4;
+        break;
+      case Op::Load:
+      case Op::Store: {
+        const bool write = inst.op == Op::Store;
+        const CacheHierarchy::Result r =
+            hier.access(id_, inst.addr, write, false, now);
+        t.readyAt = now + r.latency;
+        t.stats.busy += 1;
+        const Cycle stall = r.latency > 1 ? r.latency - 1 : 0;
+        switch (r.servedBy) {
+          case ServedBy::L1:
+            t.stats.busy += stall;
+            break;
+          case ServedBy::L2:
+            t.stats.l2 += stall;
+            break;
+          case ServedBy::RemoteL2:
+          case ServedBy::L3:
+            t.stats.l3 += stall;
+            break;
+          case ServedBy::Memory:
+            t.stats.memory += stall;
+            break;
+        }
+        if (!write) {
+            ++t.stats.reads;
+            t.stats.readLatency += r.latency;
+        }
+        break;
+      }
+      case Op::Barrier:
+        sync.arriveBarrier(t, now);
+        break;
+      case Op::Lock:
+        if (sync.acquireLock(t, now))
+            t.readyAt = now + 20; // RMW through the hierarchy
+        break;
+      case Op::Unlock:
+        sync.releaseLock(now);
+        t.readyAt = now + 1;
+        break;
+    }
+
+    if (t.done())
+        sync.threadFinished(now);
+}
+
+bool
+Core::step(Cycle now, CacheHierarchy &hier, SyncState &sync)
+{
+    const int n = static_cast<int>(threads_.size());
+    for (int i = 0; i < n; ++i) {
+        Thread &t = *threads_[(rr_ + i) % n];
+        if (t.done() || t.waitingBarrier || t.waitingLock ||
+            t.readyAt > now)
+            continue;
+        rr_ = (rr_ + i + 1) % n;
+        execute(t, now, hier, sync);
+        return true;
+    }
+    return false;
+}
+
+Cycle
+Core::nextReady() const
+{
+    Cycle next = std::numeric_limits<Cycle>::max();
+    for (const Thread *t : threads_) {
+        if (t->done() || t->waitingBarrier || t->waitingLock)
+            continue;
+        next = std::min(next, t->readyAt);
+    }
+    return next;
+}
+
+bool
+Core::done() const
+{
+    for (const Thread *t : threads_) {
+        if (!t->done())
+            return false;
+    }
+    return true;
+}
+
+} // namespace archsim

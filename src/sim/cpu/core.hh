@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Thread and core timing model (paper section 3.3): four hardware
+ * threads per core, issued round-robin, one instruction per core per
+ * cycle; FP instructions retire every cycle (SIMD), other non-memory
+ * instructions take four cycles, and at most one memory request per
+ * cycle is generated to the L1.  Threads block in order on memory,
+ * barriers, and locks.
+ */
+
+#ifndef ARCHSIM_CPU_CORE_HH
+#define ARCHSIM_CPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/cache/coherence.hh"
+#include "sim/common.hh"
+#include "sim/workload/trace_gen.hh"
+
+namespace archsim {
+
+/** Per-thread cycle attribution (the six Figure 4(b) categories). */
+struct ThreadStats {
+    std::uint64_t instructions = 0;
+    std::uint64_t busy = 0;     ///< processing instructions
+    std::uint64_t l2 = 0;       ///< stalled on L2
+    std::uint64_t l3 = 0;       ///< stalled on L3 (incl. remote L2)
+    std::uint64_t memory = 0;   ///< stalled on main memory
+    std::uint64_t barrier = 0;  ///< waiting at a barrier
+    std::uint64_t lock = 0;     ///< waiting for a lock
+    std::uint64_t reads = 0;
+    std::uint64_t readLatency = 0; ///< summed load latencies
+};
+
+/** One hardware thread executing an instruction stream. */
+class Thread
+{
+  public:
+    Thread(const WorkloadParams &w, int id, int n_threads,
+           std::uint64_t max_inst)
+        : source(std::make_unique<ThreadGen>(w, id, n_threads)),
+          id(id), maxInst(max_inst)
+    {}
+
+    /** Construct from an arbitrary instruction source (e.g. a trace). */
+    Thread(std::unique_ptr<InstSource> src, int id,
+           std::uint64_t max_inst)
+        : source(std::move(src)), id(id), maxInst(max_inst)
+    {}
+
+    bool
+    done() const
+    {
+        return stats.instructions >= maxInst;
+    }
+
+    std::unique_ptr<InstSource> source;
+    int id;
+    std::uint64_t maxInst;
+    Cycle readyAt = 0;
+    bool waitingBarrier = false;
+    bool waitingLock = false;
+    Cycle blockedSince = 0;
+    ThreadStats stats;
+};
+
+/** Barrier and lock state shared by all threads. */
+class SyncState
+{
+  public:
+    explicit SyncState(std::vector<Thread *> threads)
+        : threads_(std::move(threads))
+    {}
+
+    /** Thread arrives at the barrier; releases everyone if last. */
+    void arriveBarrier(Thread &t, Cycle now);
+
+    /** Current lock holder (nullptr when free). */
+    Thread *lockHolder() const { return holder_; }
+
+    /** A thread retired its final instruction (may release a barrier). */
+    void threadFinished(Cycle now);
+
+    /** Try to take the lock; on failure the thread blocks. */
+    bool acquireLock(Thread &t, Cycle now);
+
+    /** Release the lock and wake the next waiter. */
+    void releaseLock(Cycle now);
+
+  private:
+    void maybeRelease(Cycle now);
+
+    std::vector<Thread *> threads_;
+    int arrived_ = 0;
+    bool lockHeld_ = false;
+    Thread *holder_ = nullptr;
+    std::deque<Thread *> lockQueue_;
+};
+
+/** One in-order 4-thread core. */
+class Core
+{
+  public:
+    Core(int id, std::vector<Thread *> threads)
+        : id_(id), threads_(std::move(threads))
+    {}
+
+    /** Issue at most one instruction this cycle; true if issued. */
+    bool step(Cycle now, CacheHierarchy &hier, SyncState &sync);
+
+    /** Earliest cycle at which any thread could issue (or ~0 if none). */
+    Cycle nextReady() const;
+
+    /** True once every thread retired its budget. */
+    bool done() const;
+
+  private:
+    void execute(Thread &t, Cycle now, CacheHierarchy &hier,
+                 SyncState &sync);
+
+    int id_;
+    std::vector<Thread *> threads_;
+    int rr_ = 0;
+};
+
+} // namespace archsim
+
+#endif // ARCHSIM_CPU_CORE_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * System simulation loop.
+ */
+
+#include "sim/cpu/system.hh"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace archsim {
+
+namespace {
+
+/** Wire threads into cores and the shared synchronization state. */
+void
+assemble(std::vector<std::unique_ptr<Thread>> &threads,
+         std::vector<Core> &cores, std::unique_ptr<SyncState> &sync,
+         int n_cores, int threads_per_core)
+{
+    std::vector<Thread *> all;
+    all.reserve(threads.size());
+    for (auto &t : threads)
+        all.push_back(t.get());
+    sync = std::make_unique<SyncState>(all);
+    for (int c = 0; c < n_cores; ++c) {
+        std::vector<Thread *> mine(
+            all.begin() + std::size_t(c) * threads_per_core,
+            all.begin() + std::size_t(c + 1) * threads_per_core);
+        cores.emplace_back(c, std::move(mine));
+    }
+}
+
+} // namespace
+
+System::System(const HierarchyParams &hp, const WorkloadParams &workload,
+               std::uint64_t inst_per_thread, int n_cores,
+               int threads_per_core)
+    : hier_(hp), workloadName_(workload.name)
+{
+    const int n_threads = n_cores * threads_per_core;
+    for (int t = 0; t < n_threads; ++t) {
+        threads_.push_back(std::make_unique<Thread>(
+            workload, t, n_threads, inst_per_thread));
+    }
+    assemble(threads_, cores_, sync_, n_cores, threads_per_core);
+}
+
+System::System(const HierarchyParams &hp, const TraceFile &trace,
+               std::uint64_t inst_per_thread, int n_cores,
+               int threads_per_core)
+    : hier_(hp), workloadName_("trace")
+{
+    const int n_threads = n_cores * threads_per_core;
+    if (trace.threads() < n_threads) {
+        throw std::invalid_argument(
+            "trace covers " + std::to_string(trace.threads()) +
+            " threads; " + std::to_string(n_threads) + " required");
+    }
+    for (int t = 0; t < n_threads; ++t) {
+        threads_.push_back(std::make_unique<Thread>(
+            trace.source(t), t, inst_per_thread));
+    }
+    assemble(threads_, cores_, sync_, n_cores, threads_per_core);
+}
+
+SimStats
+System::run()
+{
+    Cycle cycle = 0;
+    for (;;) {
+        bool all_done = true;
+        bool issued = false;
+        for (Core &core : cores_) {
+            if (core.done())
+                continue;
+            all_done = false;
+            issued |= core.step(cycle, hier_, *sync_);
+        }
+        if (all_done)
+            break;
+
+        if (issued) {
+            ++cycle;
+            continue;
+        }
+        // Nothing could issue: jump to the next thread wake-up.  If
+        // every remaining thread is blocked on synchronization only,
+        // time still advances by one (releases happen at issue time).
+        Cycle next = std::numeric_limits<Cycle>::max();
+        for (const Core &core : cores_)
+            next = std::min(next, core.nextReady());
+        cycle = next == std::numeric_limits<Cycle>::max()
+                    ? cycle + 1
+                    : std::max(next, cycle + 1);
+    }
+
+    SimStats s;
+    s.workload = workloadName_;
+    s.cycles = cycle;
+    double busy = 0, l2 = 0, l3 = 0, mem = 0, bar = 0, lock = 0;
+    for (const auto &t : threads_) {
+        const ThreadStats &st = t->stats;
+        s.instructions += st.instructions;
+        s.avgReadLatency += double(st.readLatency);
+        busy += double(st.busy);
+        l2 += double(st.l2);
+        l3 += double(st.l3);
+        mem += double(st.memory);
+        bar += double(st.barrier);
+        lock += double(st.lock);
+    }
+    std::uint64_t reads = 0;
+    for (const auto &t : threads_)
+        reads += t->stats.reads;
+    s.avgReadLatency = reads ? s.avgReadLatency / double(reads) : 0.0;
+    s.ipc = s.cycles ? double(s.instructions) / double(s.cycles) : 0.0;
+
+    const double total = busy + l2 + l3 + mem + bar + lock;
+    if (total > 0) {
+        s.fInstruction = busy / total;
+        s.fL2 = l2 / total;
+        s.fL3 = l3 / total;
+        s.fMemory = mem / total;
+        s.fBarrier = bar / total;
+        s.fLock = lock / total;
+    }
+
+    hier_.memory().finish(cycle);
+    s.hier = hier_.counters();
+    s.dram = hier_.dramCounters();
+    s.memPoweredDownFraction =
+        hier_.memory().poweredDownFraction(cycle);
+    if (const Llc *l = hier_.llc()) {
+        s.llcReads = l->reads;
+        s.llcWrites = l->writes;
+        s.llcHits = l->hits;
+        s.llcMisses = l->misses;
+    }
+    return s;
+}
+
+} // namespace archsim

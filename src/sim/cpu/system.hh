@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Full-system timing simulation: 8 cores x 4 threads over the MESI
+ * hierarchy, executing one synthetic application.
+ */
+
+#ifndef ARCHSIM_CPU_SYSTEM_HH
+#define ARCHSIM_CPU_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cache/coherence.hh"
+#include "sim/cpu/core.hh"
+#include "sim/workload/npb.hh"
+#include "sim/workload/trace_file.hh"
+
+namespace archsim {
+
+/** Aggregated results of one simulation run. */
+struct SimStats {
+    std::string workload;
+    std::string config;
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+    double avgReadLatency = 0.0; ///< CPU cycles
+
+    // Execution-cycle breakdown, normalized fractions (Figure 4(b)).
+    double fInstruction = 0.0;
+    double fL2 = 0.0;
+    double fL3 = 0.0;
+    double fMemory = 0.0;
+    double fBarrier = 0.0;
+    double fLock = 0.0;
+
+    HierCounters hier;
+    DramCounters dram;
+    double memPoweredDownFraction = 0.0;
+    std::uint64_t llcReads = 0;
+    std::uint64_t llcWrites = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcMisses = 0;
+
+    /** Wall-clock execution time at the CPU clock. */
+    double seconds(double clock_hz) const { return cycles / clock_hz; }
+};
+
+/** The simulated machine. */
+class System
+{
+  public:
+    /**
+     * @param hp              hierarchy parameters (from CACTI-D)
+     * @param workload        synthetic application
+     * @param inst_per_thread instruction budget per hardware thread
+     * @param n_cores         cores (8 in the study)
+     * @param threads_per_core hardware threads per core (4)
+     */
+    System(const HierarchyParams &hp, const WorkloadParams &workload,
+           std::uint64_t inst_per_thread, int n_cores = 8,
+           int threads_per_core = 4);
+
+    /**
+     * Replay a recorded trace (one InstSource per hardware thread;
+     * the trace must cover n_cores * threads_per_core threads).
+     */
+    System(const HierarchyParams &hp, const TraceFile &trace,
+           std::uint64_t inst_per_thread, int n_cores = 8,
+           int threads_per_core = 4);
+
+    /** Run to completion and return the statistics. */
+    SimStats run();
+
+    CacheHierarchy &hierarchy() { return hier_; }
+
+  private:
+    CacheHierarchy hier_;
+    std::vector<std::unique_ptr<Thread>> threads_;
+    std::vector<Core> cores_;
+    std::unique_ptr<SyncState> sync_;
+    std::string workloadName_;
+};
+
+} // namespace archsim
+
+#endif // ARCHSIM_CPU_SYSTEM_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Main-memory model implementation.
+ */
+
+#include "sim/dram/dram.hh"
+
+#include <algorithm>
+
+namespace archsim {
+
+MemorySystem::MemorySystem(const DramParams &p) : p_(p)
+{
+    channels_.resize(p.nChannels);
+    for (Channel &c : channels_)
+        c.banks.resize(p.banksPerChannel);
+}
+
+Cycle
+MemorySystem::access(Addr addr, bool write, Cycle now)
+{
+    // Line-interleaved channel mapping, page-interleaved bank mapping
+    // (consecutive pages in different banks for multibank overlap).
+    const std::uint64_t line = addr / p_.lineBytes;
+    Channel &ch = channels_[line % p_.nChannels];
+
+    Cycle wake = 0;
+    if (p_.powerDown && now > ch.lastUse + p_.powerDownAfter) {
+        // The rank dropped CKE after the idle threshold; pay the exit
+        // latency and book the powered-down interval.
+        wake = p_.tPowerDownExit;
+        ++counters_.powerDownEntries;
+        counters_.powerDownCycles += now - (ch.lastUse +
+                                            p_.powerDownAfter);
+    }
+    const std::uint64_t page =
+        addr / (p_.pageBytes * std::uint64_t(p_.nChannels));
+    Bank &bank = ch.banks[page % p_.banksPerChannel];
+    const auto row = std::int64_t(page / p_.banksPerChannel);
+
+    Cycle t = now + p_.tController + wake;
+
+    const bool row_hit =
+        p_.policy == PagePolicy::Open && bank.openRow == row;
+    if (row_hit) {
+        ++counters_.rowHits;
+        t = std::max(t, bank.readyAt);
+    } else {
+        // Precharge (if a row is open under the open-page policy),
+        // then activate, respecting tRC at this bank and tRRD across
+        // the rank.
+        Cycle act = std::max(t, bank.readyAt);
+        if (p_.policy == PagePolicy::Open && bank.openRow >= 0)
+            act += p_.tRp;
+        if (ch.everActivated)
+            act = std::max(act, ch.lastActivate + p_.tRrd);
+        if (bank.everActivated)
+            act = std::max(act, bank.lastActivate + p_.tRas + p_.tRp);
+        ++counters_.activates;
+        bank.lastActivate = act;
+        bank.everActivated = true;
+        ch.lastActivate = act;
+        ch.everActivated = true;
+        t = act + p_.tRcd;
+        bank.openRow = p_.policy == PagePolicy::Open ? row : -1;
+        // Closed-page: auto-precharge after the access; the bank is
+        // next usable once tRAS + tRP elapse (tracked via
+        // lastActivate above).
+        bank.readyAt =
+            p_.policy == PagePolicy::Open ? t : act + p_.tRas + p_.tRp;
+    }
+
+    // Column access and burst transfer on the shared channel bus.
+    Cycle data_start = t + p_.tCas;
+    data_start = std::max(data_start, ch.busFree);
+    ch.busFree = data_start + p_.tBurst;
+    const Cycle done = data_start + p_.tBurst;
+
+    write ? ++counters_.writes : ++counters_.reads;
+    counters_.busBytes += p_.lineBytes;
+    ch.lastUse = done;
+    return done - now;
+}
+
+void
+MemorySystem::finish(Cycle end)
+{
+    if (!p_.powerDown)
+        return;
+    for (Channel &ch : channels_) {
+        if (end > ch.lastUse + p_.powerDownAfter) {
+            counters_.powerDownCycles +=
+                end - (ch.lastUse + p_.powerDownAfter);
+            ch.lastUse = end;
+        }
+    }
+}
+
+double
+MemorySystem::poweredDownFraction(Cycle total) const
+{
+    if (!p_.powerDown || total == 0)
+        return 0.0;
+    return double(counters_.powerDownCycles) /
+           (double(total) * p_.nChannels);
+}
+
+} // namespace archsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Power accounting implementation.
+ */
+
+#include "sim/power/power.hh"
+
+namespace archsim {
+
+double
+PowerBreakdown::memoryHierarchy() const
+{
+    return l1Leak + l1Dyn + l2Leak + l2Dyn + xbarLeak + xbarDyn +
+           l3Leak + l3Dyn + l3Refresh + mainDyn + mainStandby +
+           mainRefresh + bus;
+}
+
+PowerBreakdown
+computePower(const PowerParams &p, const SimStats &s)
+{
+    PowerBreakdown b;
+    const double t = s.cycles / p.clockHz;
+    if (t <= 0)
+        return b;
+    b.execSeconds = t;
+
+    b.l1Leak = p.l1.leakage;
+    b.l1Dyn = (s.hier.l1Reads * p.l1.readEnergy +
+               s.hier.l1Writes * p.l1.writeEnergy) / t;
+
+    b.l2Leak = p.l2.leakage;
+    b.l2Dyn = (s.hier.l2Reads * p.l2.readEnergy +
+               s.hier.l2Writes * p.l2.writeEnergy) / t;
+
+    b.xbarLeak = p.xbarLeakage;
+    b.xbarDyn = s.hier.xbarTransfers * p.xbarEnergyPerTransfer / t;
+
+    b.l3Leak = p.l3.leakage;
+    b.l3Refresh = p.l3.refresh;
+    b.l3Dyn = (s.llcReads * p.l3.readEnergy +
+               s.llcWrites * p.l3.writeEnergy) / t;
+
+    b.mainDyn = (s.dram.activates * p.eActivate +
+                 s.dram.reads * p.eRead + s.dram.writes * p.eWrite) / t;
+    // Power-down modes park idle ranks at a fraction of the active
+    // standby power (the paper's future-work suggestion).
+    const double pd = s.memPoweredDownFraction;
+    b.mainStandby = p.memStandbyW *
+                    (1.0 - pd * (1.0 - p.powerDownResidual));
+    b.mainRefresh = p.memRefreshW;
+
+    // Bus energy: command/address + data for every burst, 2 pJ/bit.
+    const double bus_bits = double(s.dram.busBytes) * 8.0 * 1.15;
+    b.bus = bus_bits * p.busEnergyPerBit / t;
+
+    b.corePower = p.corePowerW;
+    return b;
+}
+
+} // namespace archsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Memory-hierarchy and system power accounting (paper section 4.3):
+ * leakage and dynamic power of L1 / L2 / crossbar / L3, main-memory
+ * chip dynamic, standby and refresh power, memory bus power
+ * (2 mW/Gb/s), core power, and the system energy-delay product.
+ */
+
+#ifndef ARCHSIM_POWER_POWER_HH
+#define ARCHSIM_POWER_POWER_HH
+
+#include "sim/cpu/system.hh"
+
+namespace archsim {
+
+/** Energy/leakage description of one cache level (whole structure). */
+struct LevelEnergy {
+    double readEnergy = 0.0;  ///< J per access
+    double writeEnergy = 0.0; ///< J per access
+    double leakage = 0.0;     ///< W (all instances)
+    double refresh = 0.0;     ///< W (DRAM caches)
+};
+
+/** All power-model inputs (produced from CACTI-D solutions). */
+struct PowerParams {
+    LevelEnergy l1;  ///< all 16 L1s (8 cores x I+D)
+    LevelEnergy l2;  ///< all 8 private L2s
+    LevelEnergy l3;  ///< the whole LLC (zero when absent)
+
+    double xbarEnergyPerTransfer = 0.0; ///< J per line transfer
+    double xbarLeakage = 0.0;           ///< W
+
+    // Main memory, rank-wide commands (8 chips accessed in parallel).
+    double eActivate = 0.0; ///< J per rank ACTIVATE(+PRECHARGE)
+    double eRead = 0.0;     ///< J per rank READ burst (64B)
+    double eWrite = 0.0;
+    double memStandbyW = 0.0; ///< all 16 chips
+    double memRefreshW = 0.0;
+
+    double busEnergyPerBit = 2e-12; ///< 2 mW/Gb/s (paper section 4.3)
+    /** Standby power remaining in precharge power-down (CKE low). */
+    double powerDownResidual = 0.35;
+    double corePowerW = 22.3;       ///< scaled Niagara bottom die
+    double coreLeakFraction = 0.40;
+    double clockHz = 2e9;
+};
+
+/** Figure 5(a)/(b) power breakdown of one simulation. */
+struct PowerBreakdown {
+    double l1Leak = 0, l1Dyn = 0;
+    double l2Leak = 0, l2Dyn = 0;
+    double xbarLeak = 0, xbarDyn = 0;
+    double l3Leak = 0, l3Dyn = 0, l3Refresh = 0;
+    double mainDyn = 0, mainStandby = 0, mainRefresh = 0;
+    double bus = 0;
+
+    /** Total memory-hierarchy power (W). */
+    double memoryHierarchy() const;
+
+    double corePower = 0;
+
+    /** Whole-system power (W). */
+    double
+    system() const
+    {
+        return corePower + memoryHierarchy();
+    }
+
+    double execSeconds = 0;
+
+    /** System energy (J). */
+    double energy() const { return system() * execSeconds; }
+
+    /** System energy-delay product (J*s). */
+    double edp() const { return energy() * execSeconds; }
+};
+
+/** Roll the simulation counters up into powers. */
+PowerBreakdown computePower(const PowerParams &p, const SimStats &s);
+
+} // namespace archsim
+
+#endif // ARCHSIM_POWER_POWER_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Steady-state thermal model of the 2-die stack (paper section 4.3's
+ * HotSpot study): a 3-D resistance grid solved by Gauss-Seidel
+ * relaxation.  The heat sink sits on the top (LLC) die; the bottom
+ * (core) die conducts up through the face-to-face bond.
+ */
+
+#ifndef ARCHSIM_THERMAL_THERMAL_HH
+#define ARCHSIM_THERMAL_THERMAL_HH
+
+#include <vector>
+
+namespace archsim {
+
+/** Stack geometry and material parameters. */
+struct ThermalParams {
+    int grid = 16;            ///< cells per die edge
+    double dieEdge = 7.1e-3;  ///< die edge length (m)
+    double dieThickness = 100e-6;  ///< thinned die (m)
+    double bondThickness = 20e-6;  ///< face-to-face bond layer (m)
+    double kSilicon = 120.0;  ///< W/(m K)
+    double kBond = 1.5;       ///< W/(m K), underfill/bond
+    double rSinkPerArea = 2.2e-5; ///< K m^2/W sink + copper spreader
+    double ambient = 318.0;   ///< K (45 C case)
+};
+
+/** Result of a thermal solve. */
+struct ThermalResult {
+    double maxTemp = 0.0;     ///< K
+    double maxTempTopDie = 0.0;
+    double maxTempBottomDie = 0.0;
+};
+
+/**
+ * Solve the stack: @p bottom_power and @p top_power are grid x grid
+ * per-cell power maps (W) of the core die and the LLC die.
+ */
+ThermalResult solveStack(const ThermalParams &p,
+                         const std::vector<double> &bottom_power,
+                         const std::vector<double> &top_power);
+
+/**
+ * Build a power map with 8 equal tiles (2 rows x 4 columns) carrying
+ * the given per-tile powers, matching the 8-bank / 8-core floorplan.
+ */
+std::vector<double> tileMap(int grid, const std::vector<double> &tiles);
+
+} // namespace archsim
+
+#endif // ARCHSIM_THERMAL_THERMAL_HH

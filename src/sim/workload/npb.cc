@@ -1,0 +1,86 @@
+/**
+ * @file
+ * NPB workload parameter tables.
+ *
+ * Working-set sizes are per thread (32 threads in the study); the
+ * instruction mix constants follow the published NPB characterization
+ * (memory-instruction fractions of 25-40%, FP-heavy compute).
+ */
+
+#include "sim/workload/npb.hh"
+
+#include <stdexcept>
+
+namespace archsim {
+
+namespace {
+
+constexpr double MB = 1024.0 * 1024.0;
+constexpr double KB = 1024.0;
+
+std::vector<WorkloadParams>
+makeSuite()
+{
+    std::vector<WorkloadParams> v;
+
+    // bt.C: block-tridiagonal solver, ~0.4 GB working set, strong
+    // streaming locality over big 5x5 block arrays.
+    v.push_back({"bt.C", 0.33, 0.30, 0.65, 0.833, 96 * KB, 0.80, 0.85,
+                 12.0 * MB, 3.0, 0.20, 80000, 0.0, 0});
+
+    // cg.C: conjugate gradient, sparse mat-vec with random gathers:
+    // larger than L2, no locality an L3 can exploit.
+    v.push_back({"cg.C", 0.36, 0.12, 0.55, 0.792, 96 * KB, 0.75, 0.10,
+                 64.0 * MB, 1.0, 0.50, 50000, 0.0, 0});
+
+    // ft.B: 3-D FFT, ~36 MB total: fits the DRAM L3s, marginally
+    // overflows the 24 MB SRAM L3; frequent all-to-all barriers.
+    v.push_back({"ft.B", 0.34, 0.32, 0.70, 0.853, 96 * KB, 0.80, 0.80,
+                 1.125 * MB, 2.5, 0.35, 20000, 0.0, 0});
+
+    // is.C: integer bucket sort: large footprint, mixed locality, few
+    // FP instructions.
+    v.push_back({"is.C", 0.38, 0.35, 0.05, 0.855, 96 * KB, 0.75, 0.50,
+                 10.0 * MB, 2.2, 0.40, 60000, 0.0, 0});
+
+    // lu.C: LU factorization, ~56 MB: too big for the SRAM L3
+    // (especially), comfortable in the DRAM L3s.
+    v.push_back({"lu.C", 0.33, 0.28, 0.68, 0.833, 96 * KB, 0.80, 0.70,
+                 1.75 * MB, 2.5, 0.30, 70000, 0.0, 0});
+
+    // mg.B: multigrid, ~0.45 GB at the fine levels, streaming sweeps,
+    // frequent barriers between grid levels.
+    v.push_back({"mg.B", 0.35, 0.30, 0.60, 0.857, 96 * KB, 0.80, 0.80,
+                 14.0 * MB, 3.0, 0.25, 15000, 0.0, 0});
+
+    // sp.C: scalar-pentadiagonal solver, ~0.5 GB, streaming.
+    v.push_back({"sp.C", 0.34, 0.30, 0.65, 0.853, 96 * KB, 0.80, 0.85,
+                 16.0 * MB, 3.0, 0.20, 80000, 0.0, 0});
+
+    // ua.C: unstructured adaptive mesh: hot set the L2 captures, very
+    // low L3 access frequency, lock-based synchronization.
+    v.push_back({"ua.C", 0.32, 0.30, 0.60, 0.9875, 96 * KB, 0.85, 0.40,
+                 3.0 * MB, 2.0, 0.30, 40000, 0.004, 25});
+
+    return v;
+}
+
+} // namespace
+
+std::vector<WorkloadParams>
+npbSuite()
+{
+    return makeSuite();
+}
+
+WorkloadParams
+npbWorkload(const std::string &name)
+{
+    for (const WorkloadParams &w : makeSuite()) {
+        if (w.name == name)
+            return w;
+    }
+    throw std::invalid_argument("unknown workload: " + name);
+}
+
+} // namespace archsim

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Synthetic stand-ins for the NAS Parallel Benchmark applications of
+ * the paper's LLC study (bt.C cg.C ft.B is.C lu.C mg.B sp.C ua.C).
+ *
+ * The parameters encode the paper's section-4.2 characterization:
+ *  - ft.B, lu.C: working sets that fit in the DRAM L3s but not (fully)
+ *    in the 24MB SRAM L3;
+ *  - bt.C, is.C, mg.B, sp.C: working sets larger than every L3 but with
+ *    streaming locality, so bigger L3s filter more memory traffic;
+ *  - ua.C: very low L3 access frequency (the L2 captures the hot set)
+ *    plus lock-based synchronization;
+ *  - cg.C: larger than L2 with no exploitable locality, so every L3
+ *    fails to filter memory requests.
+ */
+
+#ifndef ARCHSIM_WORKLOAD_NPB_HH
+#define ARCHSIM_WORKLOAD_NPB_HH
+
+#include <vector>
+
+#include "sim/workload/trace_gen.hh"
+
+namespace archsim {
+
+/** The eight applications of the study, in the paper's order. */
+std::vector<WorkloadParams> npbSuite();
+
+/** Look up one application by name (e.g. "ft.B"). */
+WorkloadParams npbWorkload(const std::string &name);
+
+} // namespace archsim
+
+#endif // ARCHSIM_WORKLOAD_NPB_HH

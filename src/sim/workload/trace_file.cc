@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Trace-file workload implementation.
+ */
+
+#include "sim/workload/trace_file.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace archsim {
+
+char
+opCode(Op op)
+{
+    switch (op) {
+      case Op::Fp: return 'F';
+      case Op::Other: return 'O';
+      case Op::Load: return 'L';
+      case Op::Store: return 'S';
+      case Op::Barrier: return 'B';
+      case Op::Lock: return 'K';
+      case Op::Unlock: return 'U';
+    }
+    throw std::logic_error("unknown Op");
+}
+
+Op
+opFromCode(char c)
+{
+    switch (c) {
+      case 'F': return Op::Fp;
+      case 'O': return Op::Other;
+      case 'L': return Op::Load;
+      case 'S': return Op::Store;
+      case 'B': return Op::Barrier;
+      case 'K': return Op::Lock;
+      case 'U': return Op::Unlock;
+      default:
+        throw std::invalid_argument(std::string("bad op code '") + c +
+                                    "'");
+    }
+}
+
+TraceFile
+TraceFile::load(std::istream &in)
+{
+    TraceFile t;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        int thread = -1;
+        std::string op;
+        ls >> thread >> op;
+        if (thread < 0 || op.size() != 1) {
+            throw std::invalid_argument(
+                "trace line " + std::to_string(line_no) +
+                ": expected '<thread> <op> [addr]'");
+        }
+        Inst inst;
+        inst.op = opFromCode(op[0]);
+        if (inst.op == Op::Load || inst.op == Op::Store) {
+            std::string addr;
+            ls >> addr;
+            if (addr.empty()) {
+                throw std::invalid_argument(
+                    "trace line " + std::to_string(line_no) +
+                    ": memory op without address");
+            }
+            inst.addr = std::stoull(addr, nullptr, 16);
+        }
+        if (thread >= static_cast<int>(t.perThread_.size()))
+            t.perThread_.resize(thread + 1);
+        t.perThread_[thread].push_back(inst);
+    }
+    return t;
+}
+
+namespace {
+
+/** Replays one thread's records, looping at the end. */
+class TraceSource : public InstSource
+{
+  public:
+    explicit TraceSource(std::vector<Inst> insts)
+        : insts_(std::move(insts))
+    {
+        if (insts_.empty())
+            throw std::invalid_argument("empty trace for thread");
+    }
+
+    Inst
+    next() override
+    {
+        const Inst i = insts_[pos_];
+        pos_ = (pos_ + 1) % insts_.size();
+        return i;
+    }
+
+  private:
+    std::vector<Inst> insts_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<InstSource>
+TraceFile::source(int thread) const
+{
+    return std::make_unique<TraceSource>(perThread_.at(thread));
+}
+
+void
+writeTrace(std::ostream &out, const WorkloadParams &params,
+           int n_threads, std::uint64_t n)
+{
+    out << "# archsim trace: " << params.name << ", " << n_threads
+        << " threads, " << n << " instructions each\n";
+    for (int t = 0; t < n_threads; ++t) {
+        ThreadGen gen(params, t, n_threads);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Inst inst = gen.next();
+            out << t << ' ' << opCode(inst.op);
+            if (inst.op == Op::Load || inst.op == Op::Store)
+                out << ' ' << std::hex << inst.addr << std::dec;
+            out << '\n';
+        }
+    }
+}
+
+} // namespace archsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Trace-file workloads: dump the synthetic generators to a portable
+ * text format and replay recorded traces through the timing simulator,
+ * so externally captured instruction streams can drive the study.
+ *
+ * Format: one record per line, `<thread> <op> [hex-addr]`, where op is
+ * one of F (fp), O (other), L (load), S (store), B (barrier), K (lock),
+ * U (unlock).  Lines starting with `#` are comments.
+ */
+
+#ifndef ARCHSIM_WORKLOAD_TRACE_FILE_HH
+#define ARCHSIM_WORKLOAD_TRACE_FILE_HH
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "sim/workload/trace_gen.hh"
+
+namespace archsim {
+
+/** A loaded trace: per-thread instruction vectors. */
+class TraceFile
+{
+  public:
+    /** Parse a trace stream. @throws std::invalid_argument on errors. */
+    static TraceFile load(std::istream &in);
+
+    /** Number of threads with at least one record. */
+    int threads() const { return static_cast<int>(perThread_.size()); }
+
+    /** Instructions recorded for @p thread. */
+    const std::vector<Inst> &
+    thread(int thread) const
+    {
+        return perThread_.at(thread);
+    }
+
+    /**
+     * An InstSource replaying @p thread's records, looping back to the
+     * start when exhausted (so instruction budgets may exceed the
+     * trace length).
+     */
+    std::unique_ptr<InstSource> source(int thread) const;
+
+  private:
+    std::vector<std::vector<Inst>> perThread_;
+};
+
+/**
+ * Record @p n instructions per thread from the synthetic generator of
+ * @p params into the trace format.
+ */
+void writeTrace(std::ostream &out, const WorkloadParams &params,
+                int n_threads, std::uint64_t n);
+
+/** Single-character encoding of an op (see file header). */
+char opCode(Op op);
+
+/** Decode an op character. @throws std::invalid_argument. */
+Op opFromCode(char c);
+
+} // namespace archsim
+
+#endif // ARCHSIM_WORKLOAD_TRACE_FILE_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Synthetic instruction stream generator implementation.
+ */
+
+#include "sim/workload/trace_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+
+namespace archsim {
+
+namespace {
+
+/** Address-space layout constants (physical, per workload). */
+constexpr Addr kHotRegionBase = 0x0000'0000ULL;
+constexpr Addr kColdRegionBase = 0x1'0000'0000ULL;
+
+/** Sequential sweep length before re-seeding (bytes). */
+constexpr std::uint64_t kSweepBytes = 2 * 1024;
+
+} // namespace
+
+ThreadGen::ThreadGen(const WorkloadParams &params, int threadId,
+                     int nThreads)
+    : p_(params), threadId_(threadId), nThreads_(nThreads),
+      rng_((0xC0FFEEULL + std::uint64_t(threadId) *
+                              0x9E3779B97F4A7C15ULL) ^
+           std::hash<std::string>{}(params.name))
+{
+    const auto hot_bytes = std::uint64_t(p_.hotBytes);
+    hotBase_ = kHotRegionBase + std::uint64_t(threadId) * hot_bytes;
+
+    const auto total_ws = std::max<std::uint64_t>(
+        std::uint64_t(p_.wsBytes) * nThreads, 1 << 20);
+    coldBase_ = kColdRegionBase;
+    coldLines_ = total_ws / 64;
+}
+
+Addr
+ThreadGen::hotAddress()
+{
+    // The inner twelfth of the hot set is L1-resident (4 threads share
+    // one L1); the rest exercises the L2.
+    const auto inner = std::max<std::uint64_t>(
+        std::uint64_t(p_.hotBytes) / 12, 512);
+    if (rng_.uniform() < p_.hotL1Frac)
+        return hotBase_ + (rng_.below(inner) & ~7ULL);
+    return hotBase_ + (rng_.below(std::uint64_t(p_.hotBytes)) & ~7ULL);
+}
+
+Addr
+ThreadGen::coldAddressFor(double u, bool rotated) const
+{
+    // Skewed (stack-distance-like) reuse over the aggregate arrays:
+    // drawing the line index as u^alpha concentrates accesses toward
+    // the head of the region, so a cache holding a fraction f of the
+    // working set captures roughly f^(1/alpha) of the cold accesses.
+    // alpha == 1 degenerates to uniform: no exploitable reuse (cg.C).
+    const double skew = std::pow(u, p_.alpha);
+    auto line = std::uint64_t(skew * double(coldLines_ - 1));
+    if (rotated) {
+        // Per-thread rotation decorrelates the hot heads so threads
+        // work on their own slices of the shared arrays.
+        line = (line +
+                std::uint64_t(threadId_) * coldLines_ / nThreads_) %
+               coldLines_;
+    }
+    return coldBase_ + line * 64;
+}
+
+Addr
+ThreadGen::coldAddress(bool is_store)
+{
+    // Stores always target the thread's own (rotated) slice: NPB
+    // phases are owner-computes, so truly shared data is read-mostly.
+    const bool rotated =
+        is_store || rng_.uniform() >= p_.sharedFrac;
+    const Addr target = coldAddressFor(rng_.uniform(), rotated);
+
+    if (rng_.uniform() < p_.streamFrac) {
+        // Short sequential sweep (line-granular) from the drawn point:
+        // spatial locality for the caches, row locality for the DRAM.
+        if (streamPos_ < coldBase_ || streamPos_ >= streamEnd_) {
+            streamPos_ = target;
+            streamEnd_ = std::min<Addr>(coldBase_ + coldLines_ * 64,
+                                        streamPos_ + kSweepBytes);
+        }
+        const Addr a = streamPos_;
+        streamPos_ += 64;
+        return a;
+    }
+    return target + (rng_.below(8) * 8);
+}
+
+Inst
+ThreadGen::next()
+{
+    ++count_;
+    ++sinceBarrier_;
+
+    // Synchronization first: barriers at a fixed instruction cadence,
+    // lock/unlock pairs at a Poisson-like rate.
+    if (!lockHeld_ && p_.barrierEvery > 0 &&
+        sinceBarrier_ >= p_.barrierEvery) {
+        sinceBarrier_ = 0;
+        return {Op::Barrier, 0, 0};
+    }
+    if (lockHeld_) {
+        // Work through the critical section, then release.
+        if (csLeft_ > 0) {
+            --csLeft_;
+        } else {
+            lockHeld_ = false;
+            return {Op::Unlock, 0, 0};
+        }
+    } else if (p_.lockRate > 0.0 && rng_.uniform() < p_.lockRate) {
+        lockHeld_ = true;
+        csLeft_ = p_.criticalSection;
+        return {Op::Lock, 0, 0};
+    }
+
+    if (rng_.uniform() < p_.memFrac) {
+        const bool store = rng_.uniform() < p_.storeFrac;
+        const bool hot = rng_.uniform() < p_.hotFrac;
+        const Addr a = hot ? hotAddress() : coldAddress(store);
+        return {store ? Op::Store : Op::Load, a, 0};
+    }
+    const bool fp = rng_.uniform() < p_.fpFrac;
+    return {fp ? Op::Fp : Op::Other, 0, 0};
+}
+
+} // namespace archsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Synthetic per-thread instruction stream generator.
+ *
+ * Substitutes for the NAS Parallel Benchmarks of the paper's LLC study
+ * (section 3.2).  Each thread produces a deterministic stream of
+ * instructions whose statistical structure is parameterized on exactly
+ * the axes the paper uses to group the applications (section 4.2):
+ * working-set size relative to the cache capacities, spatial locality,
+ * frequency of L3 accesses (L2-filterable hot set), and barrier/lock
+ * density.
+ */
+
+#ifndef ARCHSIM_WORKLOAD_TRACE_GEN_HH
+#define ARCHSIM_WORKLOAD_TRACE_GEN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/common.hh"
+
+namespace archsim {
+
+/** Instruction classes the timing model distinguishes. */
+enum class Op : std::uint8_t {
+    Fp,      ///< SIMD floating point: one per cycle
+    Other,   ///< non-memory, non-FP: four cycles on average
+    Load,
+    Store,
+    Barrier, ///< wait for all threads
+    Lock,    ///< acquire a global lock (spin if held)
+    Unlock,
+};
+
+/** One dynamic instruction. */
+struct Inst {
+    Op op = Op::Other;
+    Addr addr = 0;     ///< byte address for Load/Store
+    std::uint32_t lockId = 0;
+};
+
+/** Anything that can feed a hardware thread with instructions. */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /** Produce the next dynamic instruction. */
+    virtual Inst next() = 0;
+};
+
+/** Statistical description of one application (see npb.hh). */
+struct WorkloadParams {
+    std::string name;
+    double memFrac = 0.30;      ///< loads+stores per instruction
+    double storeFrac = 0.30;    ///< stores among memory ops
+    double fpFrac = 0.55;       ///< FP among non-memory instructions
+    double hotFrac = 0.60;      ///< accesses to the per-thread hot set
+    double hotBytes = 256 << 10; ///< hot-set footprint per thread (fits L2)
+    double hotL1Frac = 0.70;    ///< hot accesses landing in the inner
+                                ///< (L1-resident) 16KB of the hot set
+    double streamFrac = 0.75;   ///< of cold accesses: sequential streams
+    double wsBytes = 256 << 20; ///< cold working set, per-thread share of
+                                ///< the aggregate (OpenMP-shared) arrays
+    double alpha = 3.0;         ///< cold reuse skew: addresses are drawn
+                                ///< as u^alpha over the region, so a cache
+                                ///< covering fraction f of the working set
+                                ///< captures ~f^(1/alpha) of cold accesses
+                                ///< (1.0 = uniform, no exploitable reuse)
+    double sharedFrac = 0.25;   ///< cold accesses without the per-thread
+                                ///< rotation (touched by all threads alike)
+    std::uint64_t barrierEvery = 400000; ///< instructions per barrier
+    double lockRate = 0.0;      ///< lock/unlock pairs per instruction
+    int criticalSection = 0;    ///< instructions held inside the lock
+};
+
+/**
+ * Generator of one hardware thread's instruction stream.
+ *
+ * The address stream is a mixture of (a) a small per-thread hot set
+ * that an L2-sized cache captures, (b) sequential streaming sweeps over
+ * a large working set (spatial locality: consecutive lines), and (c)
+ * random accesses over the same working set (no locality).  A fraction
+ * of cold accesses lands in a region shared by all threads.
+ */
+class ThreadGen : public InstSource
+{
+  public:
+    /**
+     * @param params   workload description
+     * @param threadId global thread index (also seeds the PRNG)
+     * @param nThreads total threads (partitions the working set)
+     */
+    ThreadGen(const WorkloadParams &params, int threadId, int nThreads);
+
+    /** Produce the next dynamic instruction. */
+    Inst next() override;
+
+    /** Cold-region address generation (exposed for tests). */
+    Addr coldAddressFor(double u, bool rotated) const;
+
+    /** Instructions generated so far. */
+    std::uint64_t generated() const { return count_; }
+
+  private:
+    Addr hotAddress();
+    Addr coldAddress(bool is_store);
+
+    WorkloadParams p_;
+    int threadId_;
+    int nThreads_;
+    Rng rng_;
+    std::uint64_t count_ = 0;
+
+    Addr hotBase_ = 0;
+    Addr coldBase_ = 0;      ///< aggregate shared-array region
+    std::uint64_t coldLines_ = 0; ///< region size in 64B lines
+
+    Addr streamPos_ = 0;   ///< current sequential sweep position
+    Addr streamEnd_ = 0;   ///< end of the current sweep
+    bool lockHeld_ = false;
+    int csLeft_ = 0;
+    std::uint64_t sinceBarrier_ = 0;
+};
+
+} // namespace archsim
+
+#endif // ARCHSIM_WORKLOAD_TRACE_GEN_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Memory cell parameter construction (paper Table 1 plus the published
+ * LP-DRAM data of Wang et al. and COMM-DRAM data of Mueller et al. that
+ * the paper extrapolates from).
+ */
+
+#include "tech/cell.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cactid {
+
+namespace {
+
+/**
+ * Piecewise-linear interpolation over the four tabulated nodes.  @p v
+ * holds values at {90, 65, 45, 32} nm; @p feature is in meters.
+ */
+double
+nodeLerp(const double (&v)[4], double feature)
+{
+    constexpr double nodes[4] = {90e-9, 65e-9, 45e-9, 32e-9};
+    if (feature >= nodes[0])
+        return v[0];
+    for (int i = 0; i < 3; ++i) {
+        if (feature <= nodes[i] && feature >= nodes[i + 1]) {
+            const double frac =
+                (nodes[i] - feature) / (nodes[i] - nodes[i + 1]);
+            return v[i] + (v[i + 1] - v[i]) * frac;
+        }
+    }
+    return v[3];
+}
+
+} // namespace
+
+std::string
+toString(RamCellTech tech)
+{
+    switch (tech) {
+      case RamCellTech::Sram: return "SRAM";
+      case RamCellTech::LpDram: return "LP-DRAM";
+      case RamCellTech::CommDram: return "COMM-DRAM";
+    }
+    throw std::logic_error("unknown RamCellTech");
+}
+
+CellParams
+makeCellParams(RamCellTech tech, double feature)
+{
+    CellParams c;
+    c.tech = tech;
+    const double f = feature;
+
+    switch (tech) {
+      case RamCellTech::Sram: {
+        // 146 F^2 6T cell with the ~2.7 width/height aspect ratio of
+        // published thin cells (e.g. the 65 nm Intel 0.57 um^2 cell).
+        c.areaF2 = 146.0;
+        c.height = std::sqrt(c.areaF2 / 2.7) * f;
+        c.width = c.areaF2 * f * f / c.height;
+        c.accessDevice = DeviceKind::HpLongChannel;
+        c.peripheralDevice = DeviceKind::HpLongChannel;
+        c.bitlineConductor = Conductor::Copper;
+        c.accessWidth = 1.31 * f;
+        // vddCell and currents are filled in by the Technology class,
+        // which owns the (possibly interpolated) device tables.
+        break;
+      }
+      case RamCellTech::LpDram: {
+        // 30 F^2 1T1C cell (Wang et al. report 19-26 F^2 for 180-65 nm).
+        c.areaF2 = 30.0;
+        c.height = std::sqrt(c.areaF2 / 2.0) * f;
+        c.width = c.areaF2 * f * f / c.height;
+        c.accessDevice = DeviceKind::LpDramAccess;
+        c.peripheralDevice = DeviceKind::HpLongChannel;
+        c.bitlineConductor = Conductor::Copper;
+        c.accessWidth = 1.5 * f;
+        const double c_storage[4] = {23e-15, 22e-15, 21e-15, 20e-15};
+        c.cStorage = nodeLerp(c_storage, f);
+        const double vpp[4] = {1.6, 1.6, 1.5, 1.5};
+        c.vpp = nodeLerp(vpp, f);
+        const double vdd[4] = {1.2, 1.1, 1.0, 1.0};
+        c.vddCell = nodeLerp(vdd, f);
+        const double retention[4] = {0.4e-3, 0.3e-3, 0.2e-3, 0.12e-3};
+        c.retention = nodeLerp(retention, f);
+        break;
+      }
+      case RamCellTech::CommDram: {
+        // 6 F^2 commodity cell: 2 F bitline pitch x 3 F wordline pitch.
+        c.areaF2 = 6.0;
+        c.width = 2.0 * f;
+        c.height = 3.0 * f;
+        c.accessDevice = DeviceKind::CommDramAccess;
+        c.peripheralDevice = DeviceKind::ItrsLstp;
+        c.bitlineConductor = Conductor::Tungsten;
+        c.accessWidth = 1.0 * f;
+        const double c_storage[4] = {35e-15, 33e-15, 31e-15, 30e-15};
+        c.cStorage = nodeLerp(c_storage, f);
+        const double vpp[4] = {3.0, 2.9, 2.7, 2.6};
+        c.vpp = nodeLerp(vpp, f);
+        const double vdd[4] = {1.4, 1.2, 1.1, 1.0};
+        c.vddCell = nodeLerp(vdd, f);
+        c.retention = 64e-3;
+        break;
+      }
+      default:
+        throw std::logic_error("unknown RamCellTech");
+    }
+    return c;
+}
+
+CellParams
+applyPorts(CellParams cell, double local_pitch, int ports)
+{
+    if (ports <= 1)
+        return cell;
+    if (cell.tech != RamCellTech::Sram)
+        throw std::invalid_argument("only SRAM cells can be multi-ported");
+    const int extra = ports - 1;
+    cell.width += 2.0 * extra * local_pitch;
+    cell.height += 1.0 * extra * local_pitch;
+    // Each extra port adds its own pair of access devices' leakage.
+    cell.iCellLeak300 *= 1.0 + 0.4 * extra;
+    return cell;
+}
+
+} // namespace cactid

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Memory cell definitions for the three RAM technologies of paper
+ * Table 1: 6T SRAM (146 F^2), logic-process DRAM (30 F^2), and commodity
+ * DRAM (6 F^2).
+ */
+
+#ifndef CACTID_TECH_CELL_HH
+#define CACTID_TECH_CELL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "tech/device.hh"
+#include "tech/wire.hh"
+
+namespace cactid {
+
+/** The three RAM cell technologies modeled by CACTI-D. */
+enum class RamCellTech : std::uint8_t {
+    Sram,      ///< 6T SRAM
+    LpDram,    ///< logic-process embedded DRAM, 1T1C
+    CommDram,  ///< commodity DRAM, 1T1C
+};
+
+constexpr int kNumRamCellTechs = 3;
+
+/** Human-readable name of a RAM cell technology. */
+std::string toString(RamCellTech tech);
+
+/** True for the 1T1C technologies. */
+constexpr bool
+isDram(RamCellTech tech)
+{
+    return tech != RamCellTech::Sram;
+}
+
+/**
+ * Physical and electrical properties of one memory cell flavour at a
+ * given feature size.  Geometric values are in meters (already scaled by
+ * the feature size); see paper Table 1 for the headline numbers.
+ */
+struct CellParams {
+    RamCellTech tech = RamCellTech::Sram;
+    double areaF2 = 0.0;      ///< cell area in F^2 (146 / 30 / 6)
+    double width = 0.0;       ///< cell width along the wordline (m)
+    double height = 0.0;      ///< cell height along the bitline (m)
+    DeviceKind accessDevice = DeviceKind::HpLongChannel;
+    DeviceKind peripheralDevice = DeviceKind::HpLongChannel;
+    Conductor bitlineConductor = Conductor::Copper;
+    double accessWidth = 0.0; ///< access transistor width (m)
+    double vddCell = 0.0;     ///< storage supply voltage (V)
+    double vpp = 0.0;         ///< boosted wordline voltage (V); 0 for SRAM
+    double cStorage = 0.0;    ///< 1T1C storage capacitance (F); 0 for SRAM
+    double retention = 0.0;   ///< refresh period (s); 0 for SRAM
+    double iCellOn = 0.0;     ///< cell read (discharge) current (A)
+
+    /**
+     * Per-cell standby leakage current at 300 K (A).  For SRAM this is
+     * the subthreshold leakage of the cross-coupled pair; DRAM cells do
+     * not leak statically to the supply -- their charge loss appears as
+     * refresh power instead.
+     */
+    double iCellLeak300 = 0.0;
+};
+
+/**
+ * Build the cell parameters of @p tech at feature size @p feature (m),
+ * interpolating the node-dependent quantities (storage capacitance, VPP,
+ * storage VDD, retention) between the tabulated nodes.
+ */
+CellParams makeCellParams(RamCellTech tech, double feature);
+
+/**
+ * Grow a cell for multi-porting: each port beyond the first adds one
+ * wordline track to the cell height and a bitline pair (two tracks) to
+ * the cell width (the classic CACTI port model).  Only SRAM cells can
+ * be multi-ported.
+ *
+ * @param cell        the single-port cell
+ * @param local_pitch local wire pitch (m)
+ * @param ports       total ports (>= 1)
+ */
+CellParams applyPorts(CellParams cell, double local_pitch, int ports);
+
+} // namespace cactid
+
+#endif // CACTID_TECH_CELL_HH

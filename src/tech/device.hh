@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Transistor device models for the ITRS-based technology foundation of
+ * CACTI-D (paper section 2.2.1).
+ *
+ * The ITRS defines three logic device flavours -- High Performance (HP),
+ * Low Standby Power (LSTP), and Low Operating Power (LOP).  CACTI-D adds
+ * a long-channel variant of the HP device (used for SRAM cells and for the
+ * peripheral circuitry of SRAM / LP-DRAM arrays, trading speed for roughly
+ * an order of magnitude less subthreshold leakage), and the two DRAM cell
+ * access devices: the intermediate-oxide LP-DRAM device and the thick
+ * conventional-oxide COMM-DRAM device (paper Table 1).
+ *
+ * All values are in SI units: meters, farads, amperes, ohms, volts.
+ * Per-width quantities are expressed per meter of gate width (so a
+ * capacitance of 1 fF/um is stored as 1e-9 F/m).
+ */
+
+#ifndef CACTID_TECH_DEVICE_HH
+#define CACTID_TECH_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cactid {
+
+/** The device flavours known to the technology model. */
+enum class DeviceKind : std::uint8_t {
+    ItrsHp,          ///< ITRS High Performance logic transistor
+    ItrsLstp,        ///< ITRS Low Standby Power logic transistor
+    ItrsLop,         ///< ITRS Low Operating Power logic transistor
+    HpLongChannel,   ///< long-channel HP variant (low leakage, slower)
+    LpDramAccess,    ///< LP-DRAM 1T1C cell access device (interm. oxide)
+    CommDramAccess,  ///< COMM-DRAM 1T1C cell access device (thick oxide)
+};
+
+/** Number of logic/peripheral + cell-access device flavours. */
+constexpr int kNumDeviceKinds = 6;
+
+/** Human-readable name of a device kind (for reports). */
+std::string toString(DeviceKind kind);
+
+/**
+ * Electrical parameters of one transistor flavour at one technology node.
+ *
+ * The parameters follow the CACTI 5.1 technology section: per-width gate
+ * and junction capacitances, per-width on-currents (from which effective
+ * switching resistances are derived), and per-width leakage currents.
+ */
+struct DeviceParams {
+    double vdd = 0.0;        ///< nominal supply voltage (V)
+    double vth = 0.0;        ///< threshold voltage (V)
+    double lPhy = 0.0;       ///< physical gate length (m)
+    double cGate = 0.0;      ///< total gate cap incl. overlap+fringe (F/m)
+    double cGateIdeal = 0.0; ///< intrinsic-only gate capacitance (F/m)
+    double cJunction = 0.0;  ///< drain junction + overlap capacitance (F/m)
+    double iOnN = 0.0;       ///< NMOS saturation on-current (A/m)
+    double iOnP = 0.0;       ///< PMOS saturation on-current (A/m)
+    double iOffN = 0.0;      ///< NMOS subthreshold leakage at 300 K (A/m)
+    double iGate = 0.0;      ///< gate (tunnelling) leakage (A/m)
+    double nToPDriveRatio = 2.0; ///< PMOS/NMOS width ratio for equal drive
+
+    /**
+     * Effective NMOS switching resistance multiplied by width (ohm*m).
+     * The resistance of a device of width @p w is rNchOn() / w.
+     */
+    double
+    rNchOn() const
+    {
+        return vdd / iOnN * kEffResMultiplier;
+    }
+
+    /** Effective PMOS switching resistance multiplied by width (ohm*m). */
+    double
+    rPchOn() const
+    {
+        return vdd / iOnP * kEffResMultiplier;
+    }
+
+    /**
+     * Horowitz-model effective-resistance multiplier.  The average
+     * current delivered over an output transition is below iOn; following
+     * the alpha-power-law fits used by CACTI this is modeled as a
+     * constant derating of vdd / iOn.
+     */
+    static constexpr double kEffResMultiplier = 1.54;
+};
+
+/**
+ * Linearly interpolate every field of two DeviceParams.
+ *
+ * Used to produce device data for feature sizes between the tabulated
+ * ITRS nodes (e.g. the 78 nm process of the Micron DDR3 validation part).
+ *
+ * @param a    parameters at the larger node
+ * @param b    parameters at the smaller node
+ * @param frac 0.0 selects @p a, 1.0 selects @p b
+ */
+DeviceParams interpolate(const DeviceParams &a, const DeviceParams &b,
+                         double frac);
+
+/**
+ * Look up the tabulated parameters for one device flavour at one of the
+ * four supported ITRS nodes (90, 65, 45, or 32 nm).
+ *
+ * @throws std::invalid_argument for an unsupported node.
+ */
+DeviceParams deviceParamsAtNode(DeviceKind kind, int node_nm);
+
+} // namespace cactid
+
+#endif // CACTID_TECH_DEVICE_HH

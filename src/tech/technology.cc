@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Technology construction: node lookup / interpolation and completion of
+ * the cell electrical parameters from the device tables.
+ */
+
+#include "tech/technology.hh"
+
+#include <stdexcept>
+
+namespace cactid {
+
+namespace {
+
+constexpr int kNodes[4] = {90, 65, 45, 32};
+
+/** Interlayer dielectric constant per node (low-k improves with node). */
+constexpr double kIld[4] = {3.3, 3.0, 2.7, 2.4};
+
+/** Wire aspect ratios per plane. */
+constexpr double kAspect[kNumWirePlanes] = {2.0, 2.0, 2.2};
+
+/** Wire pitches per plane, in feature sizes. */
+constexpr double kPitchInF[kNumWirePlanes] = {2.5, 4.0, 8.0};
+
+WireParams
+wireAtNode(WirePlane plane, int node)
+{
+    int ni = 0;
+    while (kNodes[ni] != node)
+        ++ni;
+    const int p = static_cast<int>(plane);
+    return WireParams::make(kPitchInF[p], node * 1e-9, kAspect[p],
+                            kIld[ni], Conductor::Copper);
+}
+
+} // namespace
+
+Technology::Technology(double feature_nm, double temperature_k)
+    : feature_(feature_nm * 1e-9), temperature_(temperature_k)
+{
+    if (feature_nm < 32.0 || feature_nm > 90.0)
+        throw std::invalid_argument(
+            "feature size must be within the 90-32 nm ITRS window");
+    if (temperature_k < 300.0 || temperature_k > 400.0)
+        throw std::invalid_argument(
+            "temperature must be within 300-400 K");
+
+    // Locate the bounding tabulated nodes and the interpolation fraction.
+    int hi = 0;
+    int lo = 0;
+    double frac = 0.0;
+    if (feature_nm >= kNodes[0]) {
+        hi = lo = 0;
+    } else if (feature_nm <= kNodes[3]) {
+        hi = lo = 3;
+    } else {
+        for (int i = 0; i < 3; ++i) {
+            if (feature_nm <= kNodes[i] && feature_nm >= kNodes[i + 1]) {
+                hi = i;
+                lo = i + 1;
+                frac = (kNodes[i] - feature_nm) /
+                       double(kNodes[i] - kNodes[i + 1]);
+                break;
+            }
+        }
+    }
+
+    for (int k = 0; k < kNumDeviceKinds; ++k) {
+        const auto kind = static_cast<DeviceKind>(k);
+        const DeviceParams a = deviceParamsAtNode(kind, kNodes[hi]);
+        const DeviceParams b = deviceParamsAtNode(kind, kNodes[lo]);
+        devices_[k] = hi == lo ? a : interpolate(a, b, frac);
+    }
+
+    for (int p = 0; p < kNumWirePlanes; ++p) {
+        const auto plane = static_cast<WirePlane>(p);
+        const WireParams a = wireAtNode(plane, kNodes[hi]);
+        const WireParams b = wireAtNode(plane, kNodes[lo]);
+        wires_[p] = hi == lo ? a : interpolate(a, b, frac);
+    }
+
+    for (int t = 0; t < kNumRamCellTechs; ++t) {
+        const auto tech = static_cast<RamCellTech>(t);
+        CellParams c = makeCellParams(tech, feature_);
+        const DeviceParams &acc = device(c.accessDevice);
+        if (tech == RamCellTech::Sram) {
+            c.vddCell = acc.vdd;
+            // Read current limited by the access / pull-down stack.
+            c.iCellOn = 0.7 * acc.iOnN * c.accessWidth;
+            // Two leaking paths through the cross-coupled pair plus the
+            // access devices; expressed as an equivalent leaking width.
+            c.iCellLeak300 = acc.iOffN * 2.5 * feature_;
+        } else {
+            // 1T1C read current under the boosted wordline.
+            c.iCellOn = acc.iOnN * c.accessWidth;
+            c.iCellLeak300 = 0.0;
+        }
+        cells_[t] = c;
+    }
+}
+
+} // namespace cactid

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The Technology class: the single per-node container of device, wire,
+ * and cell data used by all circuit and array models.
+ *
+ * CACTI-D covers the 90 / 65 / 45 / 32 nm ITRS nodes (years 2004-2013 of
+ * the roadmap); arbitrary intermediate feature sizes (e.g. the 78 nm
+ * Micron DDR3 process used for validation) are supported by field-wise
+ * linear interpolation between the bounding nodes, exactly as CACTI 5
+ * does.
+ */
+
+#ifndef CACTID_TECH_TECHNOLOGY_HH
+#define CACTID_TECH_TECHNOLOGY_HH
+
+#include <array>
+#include <cmath>
+
+#include "tech/cell.hh"
+#include "tech/device.hh"
+#include "tech/wire.hh"
+
+namespace cactid {
+
+/**
+ * All technology data at one feature size and operating temperature.
+ */
+class Technology
+{
+  public:
+    /**
+     * @param feature_nm    feature size in nanometers, in [32, 90]
+     * @param temperature_k operating temperature; leakage is derated
+     *                      from the tabulated 300 K values
+     */
+    explicit Technology(double feature_nm, double temperature_k = 350.0);
+
+    /** Feature size (m). */
+    double feature() const { return feature_; }
+
+    /** Operating temperature (K). */
+    double temperatureK() const { return temperature_; }
+
+    /**
+     * Multiplier applied to 300 K subthreshold leakage at the operating
+     * temperature.  Subthreshold current roughly doubles every ~25 K in
+     * this regime (Arrhenius-like fit to the CACTI 5.1 leakage tables).
+     */
+    double
+    leakageDerate() const
+    {
+        return std::pow(2.0, (temperature_ - 300.0) / 25.0);
+    }
+
+    /** Device parameters of flavour @p kind at this node. */
+    const DeviceParams &
+    device(DeviceKind kind) const
+    {
+        return devices_[static_cast<int>(kind)];
+    }
+
+    /** Wire parameters of plane @p plane at this node. */
+    const WireParams &
+    wire(WirePlane plane) const
+    {
+        return wires_[static_cast<int>(plane)];
+    }
+
+    /** Cell parameters of technology @p tech at this node. */
+    const CellParams &
+    cell(RamCellTech tech) const
+    {
+        return cells_[static_cast<int>(tech)];
+    }
+
+    /**
+     * Total leakage current (subthreshold + gate) of @p width meters of
+     * device @p kind at the operating temperature (A).
+     */
+    double
+    leakageCurrent(DeviceKind kind, double width) const
+    {
+        const DeviceParams &d = device(kind);
+        return (d.iOffN * leakageDerate() + d.iGate) * width;
+    }
+
+    /**
+     * Standby leakage power of an inverter-like structure with NMOS
+     * width @p n_width and matching PMOS, averaged over input states (W).
+     */
+    double
+    inverterLeakage(DeviceKind kind, double n_width) const
+    {
+        const DeviceParams &d = device(kind);
+        const double w = n_width * (1.0 + d.nToPDriveRatio) / 2.0;
+        return d.vdd * leakageCurrent(kind, w);
+    }
+
+    /** Minimum transistor width at this node (m). */
+    double minWidth() const { return 3.0 * feature_; }
+
+  private:
+    double feature_;
+    double temperature_;
+    std::array<DeviceParams, kNumDeviceKinds> devices_;
+    std::array<WireParams, kNumWirePlanes> wires_;
+    std::array<CellParams, kNumRamCellTechs> cells_;
+};
+
+} // namespace cactid
+
+#endif // CACTID_TECH_TECHNOLOGY_HH

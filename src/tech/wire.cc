@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Wire parasitics and repeated-wire model implementation.
+ *
+ * Wire capacitance uses the parallel-plate + coupling + fringe formula of
+ * CACTI 5.1 with low-k interlayer dielectrics that improve per node.
+ * Copper resistivity grows at small widths due to barrier layers and
+ * surface scattering; the DRAM bitline tungsten fill is several times
+ * more resistive than copper.
+ */
+
+#include "tech/wire.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cactid {
+
+std::string
+toString(WirePlane plane)
+{
+    switch (plane) {
+      case WirePlane::Local: return "local";
+      case WirePlane::SemiGlobal: return "semi-global";
+      case WirePlane::Global: return "global";
+    }
+    throw std::logic_error("unknown WirePlane");
+}
+
+double
+resistivity(Conductor conductor, double width_m)
+{
+    // Bulk resistivities plus a width-dependent surcharge modeling
+    // barrier thickness and surface scattering (after Ron Ho).
+    switch (conductor) {
+      case Conductor::Copper: {
+        const double bulk = 2.2e-8; // ohm*m
+        const double barrier = 4e-9;  // effective barrier width loss (m)
+        const double scatter = 1.0 + barrier / std::max(width_m, 1e-9);
+        return bulk * scatter;
+      }
+      case Conductor::Tungsten:
+        // CVD tungsten fill used for COMM-DRAM bitlines; largely
+        // width-insensitive in this regime.
+        return 1.2e-7;
+    }
+    throw std::logic_error("unknown Conductor");
+}
+
+WireParams
+WireParams::make(double pitch_in_f, double feature, double aspect,
+                 double k_ild, Conductor conductor)
+{
+    constexpr double eps0 = 8.854e-12; // F/m
+
+    WireParams w;
+    w.pitch = pitch_in_f * feature;
+    w.width = w.pitch / 2.0;
+    w.thickness = aspect * w.width;
+    w.resPerM = resistivity(conductor, w.width) / (w.width * w.thickness);
+
+    // Sidewall coupling (spacing == width), plate cap to layers above and
+    // below (ILD thickness ~= wire height), plus constant fringe.
+    const double spacing = w.pitch - w.width;
+    const double ild = w.thickness;
+    const double c_coupling = 2.0 * eps0 * k_ild * (w.thickness / spacing);
+    const double c_plate = 2.0 * eps0 * k_ild * (w.width / ild);
+    const double c_fringe = 0.08e-9; // F/m, total both edges
+    w.capPerM = c_coupling + c_plate + c_fringe;
+    return w;
+}
+
+WireParams
+interpolate(const WireParams &a, const WireParams &b, double frac)
+{
+    auto lerp = [frac](double x, double y) { return x + (y - x) * frac; };
+    WireParams r;
+    r.pitch = lerp(a.pitch, b.pitch);
+    r.width = lerp(a.width, b.width);
+    r.thickness = lerp(a.thickness, b.thickness);
+    r.resPerM = lerp(a.resPerM, b.resPerM);
+    r.capPerM = lerp(a.capPerM, b.capPerM);
+    return r;
+}
+
+namespace {
+
+// Minimum inverter NMOS width relative to the physical gate length.  With
+// lPhy ~= 0.4 F this approximates the conventional 3 F minimum width.
+constexpr double kMinWidthPerLphy = 7.5;
+
+} // namespace
+
+RepeatedWire::RepeatedWire(const WireParams &wire, const DeviceParams &driver,
+                           double derate)
+    : wire_(wire), drv_(driver)
+{
+    if (derate < 1.0)
+        throw std::invalid_argument("repeater derate must be >= 1.0");
+
+    const double w_min = kMinWidthPerLphy * drv_.lPhy;
+    const double r = drv_.nToPDriveRatio;
+    const double c0 = drv_.cGate * w_min * (1.0 + r);
+    const double cp = drv_.cJunction * w_min * (1.0 + r);
+    const double r0 = drv_.rNchOn() / w_min;
+
+    // Classic closed-form optimum.
+    const double l_opt =
+        std::sqrt(2.0 * r0 * (c0 + cp) / (wire_.resPerM * wire_.capPerM));
+    const double s_opt = std::sqrt(r0 * wire_.capPerM /
+                                   (wire_.resPerM * c0));
+
+    const double d_min = segmentDelayPerM(s_opt, l_opt);
+
+    double best_s = s_opt;
+    double best_l = l_opt;
+    double best_e = segmentEnergyPerM(s_opt, l_opt);
+    if (derate > 1.0) {
+        // Grid-search smaller / sparser repeaters that still meet the
+        // derated delay target, minimizing dynamic energy.
+        for (int si = 1; si <= 40; ++si) {
+            const double s = s_opt * si / 40.0;
+            for (int li = 0; li <= 40; ++li) {
+                const double l = l_opt * (1.0 + 3.0 * li / 40.0);
+                if (segmentDelayPerM(s, l) > derate * d_min)
+                    continue;
+                const double e = segmentEnergyPerM(s, l);
+                if (e < best_e) {
+                    best_e = e;
+                    best_s = s;
+                    best_l = l;
+                }
+            }
+        }
+    }
+
+    repeaterSize_ = best_s;
+    repeaterSpacing_ = best_l;
+    delayPerM_ = segmentDelayPerM(best_s, best_l);
+    energyPerM_ = best_e;
+    leakagePerM_ = segmentLeakagePerM(best_s, best_l);
+}
+
+double
+RepeatedWire::segmentDelayPerM(double size, double spacing) const
+{
+    const double w_min = kMinWidthPerLphy * drv_.lPhy;
+    const double r = drv_.nToPDriveRatio;
+    const double c0 = drv_.cGate * w_min * (1.0 + r);
+    const double cp = drv_.cJunction * w_min * (1.0 + r);
+    const double r0 = drv_.rNchOn() / w_min;
+
+    const double seg = 0.69 *
+        ((r0 / size) * (cp * size + wire_.capPerM * spacing + c0 * size) +
+         wire_.resPerM * spacing *
+             (wire_.capPerM * spacing / 2.0 + c0 * size));
+    return seg / spacing;
+}
+
+double
+RepeatedWire::segmentEnergyPerM(double size, double spacing) const
+{
+    const double w_min = kMinWidthPerLphy * drv_.lPhy;
+    const double r = drv_.nToPDriveRatio;
+    const double c0 = drv_.cGate * w_min * (1.0 + r);
+    const double cp = drv_.cJunction * w_min * (1.0 + r);
+    const double c_per_m = wire_.capPerM + (c0 + cp) * size / spacing;
+    return c_per_m * drv_.vdd * drv_.vdd;
+}
+
+double
+RepeatedWire::segmentLeakagePerM(double size, double spacing) const
+{
+    const double w_min = kMinWidthPerLphy * drv_.lPhy;
+    const double r = drv_.nToPDriveRatio;
+    // On average one of the two devices of each repeater leaks.
+    const double i_leak =
+        (drv_.iOffN + drv_.iGate) * w_min * size * (1.0 + r) / 2.0;
+    return drv_.vdd * i_leak / spacing;
+}
+
+} // namespace cactid

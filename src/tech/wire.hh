@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Interconnect models following Ron Ho's wire projections (paper section
+ * 2.2): per-plane wire geometry and RC parasitics, and a repeated-wire
+ * model with optimal and delay-derated (energy-saving) repeater
+ * insertion.  The derating knob implements CACTI-D's
+ * max_repeater_delay_constraint (section 2.4).
+ */
+
+#ifndef CACTID_TECH_WIRE_HH
+#define CACTID_TECH_WIRE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "tech/device.hh"
+
+namespace cactid {
+
+/** Metal planes distinguished by pitch, following CACTI 5. */
+enum class WirePlane : std::uint8_t {
+    Local,       ///< 2.5 F pitch: inside mats (wordline straps etc.)
+    SemiGlobal,  ///< 4 F pitch: intra-bank routing, H-trees
+    Global,      ///< 8 F pitch: chip-level routing, crossbars
+};
+
+constexpr int kNumWirePlanes = 3;
+
+/** Human-readable name of a wire plane. */
+std::string toString(WirePlane plane);
+
+/** Conductor materials for array wires (paper Table 1). */
+enum class Conductor : std::uint8_t {
+    Copper,    ///< back-end-of-line Cu (all technologies)
+    Tungsten,  ///< COMM-DRAM bitline conductor
+};
+
+/** Effective resistivity of a conductor incl. barrier/fill effects. */
+double resistivity(Conductor conductor, double width_m);
+
+/**
+ * Geometry and RC parasitics of one wire plane at one node.
+ * All values in SI units.
+ */
+struct WireParams {
+    double pitch = 0.0;      ///< wire pitch (m)
+    double width = 0.0;      ///< conductor width, pitch / 2 (m)
+    double thickness = 0.0;  ///< conductor thickness (m)
+    double resPerM = 0.0;    ///< resistance per length (ohm/m)
+    double capPerM = 0.0;    ///< capacitance per length (F/m)
+
+    /**
+     * Construct a plane from geometry.
+     *
+     * @param pitch_in_f  pitch in units of the feature size
+     * @param feature     feature size (m)
+     * @param aspect      thickness / width aspect ratio
+     * @param k_ild       interlayer dielectric constant
+     * @param conductor   conductor material
+     */
+    static WireParams make(double pitch_in_f, double feature, double aspect,
+                           double k_ild, Conductor conductor);
+};
+
+/** Field-wise linear interpolation between two planes (see device.hh). */
+WireParams interpolate(const WireParams &a, const WireParams &b, double frac);
+
+/**
+ * A repeated wire: a long wire broken by inverter repeaters.
+ *
+ * Solves the classic optimal repeater insertion problem and also supports
+ * delay-derated solutions where repeaters are made smaller and sparser to
+ * save energy, subject to delay <= derate * optimal delay.
+ */
+class RepeatedWire
+{
+  public:
+    /**
+     * @param wire    the wire plane the signal travels on
+     * @param driver  the device flavour used for the repeaters
+     * @param derate  allowed delay inflation (>= 1.0); 1.0 requests the
+     *                minimum-delay repeater solution
+     */
+    RepeatedWire(const WireParams &wire, const DeviceParams &driver,
+                 double derate = 1.0);
+
+    /** Signal propagation delay per meter (s/m). */
+    double delayPerM() const { return delayPerM_; }
+
+    /** Dynamic switching energy per meter per transition (J/m). */
+    double energyPerM() const { return energyPerM_; }
+
+    /** Repeater subthreshold+gate leakage power per meter (W/m). */
+    double leakagePerM() const { return leakagePerM_; }
+
+    /** Repeater NMOS width divided by minimum width (sizing factor). */
+    double repeaterSize() const { return repeaterSize_; }
+
+    /** Distance between successive repeaters (m). */
+    double repeaterSpacing() const { return repeaterSpacing_; }
+
+  private:
+    /** Delay per meter for a given repeater size and spacing. */
+    double segmentDelayPerM(double size, double spacing) const;
+    double segmentEnergyPerM(double size, double spacing) const;
+    double segmentLeakagePerM(double size, double spacing) const;
+
+    WireParams wire_;
+    DeviceParams drv_;
+    double delayPerM_ = 0.0;
+    double energyPerM_ = 0.0;
+    double leakagePerM_ = 0.0;
+    double repeaterSize_ = 1.0;
+    double repeaterSpacing_ = 0.0;
+};
+
+} // namespace cactid
+
+#endif // CACTID_TECH_WIRE_HH

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for the array layer: partition enumeration, subarray geometry,
+ * mats, H-trees and bank roll-up.
+ */
+
+#include <gtest/gtest.h>
+
+#include "array/bank.hh"
+#include "array/htree.hh"
+#include "array/mat.hh"
+#include "array/partition.hh"
+#include "array/subarray.hh"
+#include "tech/technology.hh"
+
+namespace {
+
+using namespace cactid;
+
+// --- Partition enumeration ---------------------------------------------
+
+TEST(Partition, EnumerationCoversCapacity)
+{
+    const PartitionLimits lim;
+    const auto parts =
+        enumeratePartitions(1 << 20, 512, RamCellTech::Sram, lim);
+    ASSERT_FALSE(parts.empty());
+    for (const Partition &p : parts) {
+        const double n =
+            double(1 << 20) / (double(p.rowsPerSubarray) *
+                               p.colsPerSubarray);
+        EXPECT_DOUBLE_EQ(n, std::round(n));
+        EXPECT_GE(p.bitsPerMatAccess(), 1);
+    }
+}
+
+TEST(Partition, DramForcesFullPageSensing)
+{
+    const PartitionLimits lim;
+    const auto parts =
+        enumeratePartitions(1 << 22, 512, RamCellTech::CommDram, lim);
+    ASSERT_FALSE(parts.empty());
+    for (const Partition &p : parts)
+        EXPECT_EQ(p.blMux, 1);
+}
+
+TEST(Partition, SramExploresBitlineMuxing)
+{
+    const PartitionLimits lim;
+    const auto parts =
+        enumeratePartitions(1 << 22, 512, RamCellTech::Sram, lim);
+    bool has_muxed = false;
+    for (const Partition &p : parts)
+        has_muxed |= p.blMux > 1;
+    EXPECT_TRUE(has_muxed);
+}
+
+TEST(Partition, NonPowerOfTwoBankSupported)
+{
+    // A 3MB bank (24MB / 8 banks) must still tile.
+    const double bits = 3.0 * (1 << 20) * 8;
+    const PartitionLimits lim;
+    const auto parts =
+        enumeratePartitions(bits, 512, RamCellTech::Sram, lim);
+    EXPECT_FALSE(parts.empty());
+}
+
+// --- Subarray ------------------------------------------------------------
+
+TEST(Subarray, GeometryScalesWithCells)
+{
+    const Technology t(32.0);
+    const Subarray a(t, RamCellTech::Sram, 128, 256);
+    const Subarray b(t, RamCellTech::Sram, 256, 512);
+    EXPECT_NEAR(b.matrixWidth() / a.matrixWidth(), 2.0, 1e-9);
+    EXPECT_NEAR(b.matrixHeight() / a.matrixHeight(), 2.0, 1e-9);
+    EXPECT_NEAR(b.cellArea() / a.cellArea(), 4.0, 1e-9);
+}
+
+TEST(Subarray, DramWordlineIsMoreResistive)
+{
+    const Technology t(32.0);
+    const Subarray sram(t, RamCellTech::Sram, 128, 256);
+    const Subarray dram(t, RamCellTech::CommDram, 128, 256);
+    // Per unit length: normalize by width.
+    EXPECT_GT(dram.rWordline() / dram.matrixWidth(),
+              sram.rWordline() / sram.matrixWidth());
+}
+
+TEST(Subarray, CommDramDensestPerBit)
+{
+    const Technology t(32.0);
+    const Subarray sram(t, RamCellTech::Sram, 128, 256);
+    const Subarray cm(t, RamCellTech::CommDram, 128, 256);
+    EXPECT_LT(cm.cellArea(), sram.cellArea() / 20.0);
+}
+
+// --- Mat -------------------------------------------------------------------
+
+class MatTest : public ::testing::Test
+{
+  protected:
+    Technology t{32.0};
+    Partition part{256, 256, 1, 1};
+};
+
+TEST_F(MatTest, DelaysPositiveAndOrdered)
+{
+    const Mat m(t, RamCellTech::Sram, part);
+    EXPECT_GT(m.decodeDelay(), 0.0);
+    EXPECT_GT(m.bitlineDelay(), 0.0);
+    EXPECT_GT(m.senseDelay(), 0.0);
+    EXPECT_GT(m.outputDelay(), 0.0);
+    EXPECT_NEAR(m.accessDelay(),
+                m.decodeDelay() + m.bitlineDelay() + m.senseDelay() +
+                    m.outputDelay(),
+                1e-15);
+}
+
+TEST_F(MatTest, DramCycleIncludesWritebackAndPrecharge)
+{
+    const Mat sram(t, RamCellTech::Sram, part);
+    const Mat dram(t, RamCellTech::CommDram, part);
+    // DRAM destructive readout lengthens the random cycle relative to
+    // its own read path by writeback + precharge.
+    EXPECT_GT(dram.cycleTime(), dram.decodeDelay() +
+                                    dram.bitlineDelay() +
+                                    dram.senseDelay());
+    EXPECT_GT(dram.writebackDelay(), 0.0);
+    EXPECT_DOUBLE_EQ(sram.writebackDelay(), 0.0);
+}
+
+TEST_F(MatTest, DramSensesWholePage)
+{
+    const Partition muxed{256, 256, 4, 1};
+    const Mat sram(t, RamCellTech::Sram, muxed);
+    EXPECT_EQ(sram.senseAmps(), 256 / 4);
+    const Mat dram(t, RamCellTech::CommDram, part);
+    EXPECT_EQ(dram.senseAmps(), 256);
+}
+
+TEST_F(MatTest, ActivateEnergyGrowsWithCols)
+{
+    const Mat narrow(t, RamCellTech::CommDram,
+                     Partition{256, 128, 1, 1});
+    const Mat wide(t, RamCellTech::CommDram,
+                   Partition{256, 1024, 1, 1});
+    EXPECT_GT(wide.activateEnergy(), 4.0 * narrow.activateEnergy());
+}
+
+TEST_F(MatTest, SramCellsLeakDramCellsDoNot)
+{
+    const Mat sram(t, RamCellTech::Sram, part);
+    const Mat dram(t, RamCellTech::LpDram, part);
+    EXPECT_GT(sram.cellLeakage(), 0.0);
+    EXPECT_DOUBLE_EQ(dram.cellLeakage(), 0.0);
+    EXPECT_GT(dram.refreshRowEnergy(), 0.0);
+}
+
+TEST_F(MatTest, GeometryPositive)
+{
+    for (RamCellTech tech : {RamCellTech::Sram, RamCellTech::LpDram,
+                             RamCellTech::CommDram}) {
+        const Mat m(t, tech, part);
+        EXPECT_GT(m.width(), 0.0);
+        EXPECT_GT(m.height(), 0.0);
+        EXPECT_GT(m.area(), m.cellArea());
+    }
+}
+
+// --- H-tree ------------------------------------------------------------------
+
+TEST(HTree, DelayScalesWithBankSize)
+{
+    const Technology t(32.0);
+    const HTree small(t, DeviceKind::ItrsHp, 1e-3, 1e-3, 30, 512);
+    const HTree big(t, DeviceKind::ItrsHp, 4e-3, 4e-3, 30, 512);
+    EXPECT_NEAR(big.addrDelay() / small.addrDelay(), 4.0, 0.01);
+    EXPECT_GT(big.leakage(), small.leakage());
+}
+
+TEST(HTree, DeratedRepeatersSaveEnergy)
+{
+    const Technology t(32.0);
+    const HTree opt(t, DeviceKind::ItrsHp, 3e-3, 3e-3, 30, 512, 1.0);
+    const HTree slow(t, DeviceKind::ItrsHp, 3e-3, 3e-3, 30, 512, 3.0);
+    EXPECT_GT(slow.addrDelay(), opt.addrDelay());
+    EXPECT_LT(slow.dataEnergyPerBit(), opt.dataEnergyPerBit());
+}
+
+// --- Bank -----------------------------------------------------------------
+
+class BankTest : public ::testing::Test
+{
+  protected:
+    Technology t{32.0};
+
+    BankSpec
+    spec(RamCellTech tech, double bits, int out) const
+    {
+        BankSpec s;
+        s.tech = tech;
+        s.sizeBits = bits;
+        s.outputBits = out;
+        return s;
+    }
+};
+
+TEST_F(BankTest, FeasibleSramBank)
+{
+    const BankMetrics m = buildBank(t, spec(RamCellTech::Sram, 1 << 23,
+                                            512),
+                                    Partition{256, 256, 2, 1});
+    ASSERT_TRUE(m.feasible);
+    EXPECT_EQ(m.nMats, (1 << 23) / (256 * 256));
+    EXPECT_EQ(m.gridX * m.gridY, m.nMats);
+    EXPECT_GT(m.accessTime, 0.0);
+    EXPECT_GT(m.areaEfficiency, 0.2);
+    EXPECT_LT(m.areaEfficiency, 1.0);
+    EXPECT_GT(m.readEnergy, 0.0);
+    EXPECT_GE(m.writeEnergy, m.readEnergy);
+    EXPECT_GT(m.leakage, 0.0);
+    EXPECT_DOUBLE_EQ(m.refreshPower, 0.0);
+}
+
+TEST_F(BankTest, DramBankHasRefreshPower)
+{
+    const BankMetrics m =
+        buildBank(t, spec(RamCellTech::LpDram, 1 << 23, 512),
+                  Partition{256, 256, 1, 1});
+    ASSERT_TRUE(m.feasible);
+    EXPECT_GT(m.refreshPower, 0.0);
+}
+
+TEST_F(BankTest, RefreshScalesInverselyWithRetention)
+{
+    // LP-DRAM (0.12 ms) must refresh far more power-hungrily per bit
+    // than COMM-DRAM (64 ms).
+    const BankMetrics lp =
+        buildBank(t, spec(RamCellTech::LpDram, 1 << 23, 512),
+                  Partition{256, 256, 1, 1});
+    const BankMetrics cm =
+        buildBank(t, spec(RamCellTech::CommDram, 1 << 23, 512),
+                  Partition{256, 256, 1, 1});
+    ASSERT_TRUE(lp.feasible && cm.feasible);
+    EXPECT_GT(lp.refreshPower, 20.0 * cm.refreshPower);
+}
+
+TEST_F(BankTest, SleepTransistorsReduceLeakage)
+{
+    BankSpec s = spec(RamCellTech::Sram, 1 << 23, 512);
+    const BankMetrics awake =
+        buildBank(t, s, Partition{256, 256, 2, 1});
+    s.sleepTransistors = true;
+    const BankMetrics asleep =
+        buildBank(t, s, Partition{256, 256, 2, 1});
+    EXPECT_LT(asleep.leakage, awake.leakage);
+    EXPECT_GT(asleep.leakage, 0.4 * awake.leakage);
+}
+
+TEST_F(BankTest, PageSizeConstraintEnforced)
+{
+    BankSpec s = spec(RamCellTech::CommDram, 1 << 27, 64);
+    s.mainMemoryStyle = true;
+    s.pageBits = 8192;
+    // cols == 512 -> 16 mats per activate; feasible.
+    const BankMetrics ok =
+        buildBank(t, s, Partition{512, 512, 1, 8});
+    EXPECT_TRUE(ok.feasible);
+    // A page that does not divide into subarray columns is rejected.
+    s.pageBits = 8192 + 64;
+    const BankMetrics bad =
+        buildBank(t, s, Partition{512, 512, 1, 8});
+    EXPECT_FALSE(bad.feasible);
+}
+
+TEST_F(BankTest, MainMemoryTimingOrdering)
+{
+    BankSpec s = spec(RamCellTech::CommDram, 1 << 27, 64);
+    s.mainMemoryStyle = true;
+    s.pageBits = 8192;
+    s.ioDelay = 5e-9;
+    const BankMetrics m =
+        buildBank(t, s, Partition{512, 512, 1, 8});
+    ASSERT_TRUE(m.feasible);
+    EXPECT_GT(m.tRas, m.tRcd);
+    EXPECT_NEAR(m.tRc, m.tRas + m.tRp, 1e-15);
+    EXPECT_LE(m.tRrd, m.tRc);
+    EXPECT_GT(m.tCas, s.ioDelay);
+    EXPECT_GT(m.activateEnergy, 0.0);
+    EXPECT_GT(m.readBurstEnergy, 0.0);
+    EXPECT_GE(m.writeBurstEnergy, m.readBurstEnergy);
+}
+
+TEST_F(BankTest, InterleaveCycleBelowRandomCycleForDram)
+{
+    const BankMetrics m =
+        buildBank(t, spec(RamCellTech::CommDram, 1 << 24, 512),
+                  Partition{512, 512, 1, 1});
+    ASSERT_TRUE(m.feasible);
+    EXPECT_LT(m.interleaveCycle, m.randomCycle);
+}
+
+TEST_F(BankTest, InsufficientMatsRejected)
+{
+    // One mat cannot source 512 output bits if it only yields 64.
+    const BankMetrics m =
+        buildBank(t, spec(RamCellTech::Sram, 256 * 256, 512),
+                  Partition{256, 256, 4, 1});
+    EXPECT_FALSE(m.feasible);
+}
+
+} // namespace

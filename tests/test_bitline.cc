@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the SRAM and DRAM bitline models (paper section 2.3.2:
+ * destructive readout, writeback, restore).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/bitline.hh"
+#include "tech/technology.hh"
+
+namespace {
+
+using namespace cactid;
+
+class BitlineTest : public ::testing::Test
+{
+  protected:
+    Technology t{32.0};
+};
+
+TEST_F(BitlineTest, CapacitanceScalesWithRows)
+{
+    const BitlineModel a = makeBitline(t, RamCellTech::Sram, 64);
+    const BitlineModel b = makeBitline(t, RamCellTech::Sram, 256);
+    EXPECT_NEAR(b.cBitline / a.cBitline, 4.0, 0.1);
+}
+
+TEST_F(BitlineTest, SramHasNoWriteback)
+{
+    const BitlineModel bl = makeBitline(t, RamCellTech::Sram, 128);
+    EXPECT_DOUBLE_EQ(bl.writebackDelay, 0.0);
+    EXPECT_DOUBLE_EQ(bl.cellRestoreEnergy, 0.0);
+    EXPECT_TRUE(bl.feasible);
+}
+
+TEST_F(BitlineTest, DramReadoutIsDestructive)
+{
+    for (RamCellTech tech :
+         {RamCellTech::LpDram, RamCellTech::CommDram}) {
+        const BitlineModel bl = makeBitline(t, tech, 128);
+        EXPECT_GT(bl.writebackDelay, 0.0) << toString(tech);
+        EXPECT_GT(bl.cellRestoreEnergy, 0.0);
+        EXPECT_GT(bl.prechargeDelay, 0.0);
+    }
+}
+
+TEST_F(BitlineTest, DramSenseMarginShrinksWithRows)
+{
+    const BitlineModel a = makeBitline(t, RamCellTech::CommDram, 128);
+    const BitlineModel b = makeBitline(t, RamCellTech::CommDram, 1024);
+    EXPECT_GT(a.senseMargin, b.senseMargin);
+}
+
+TEST_F(BitlineTest, ChargeSharingMatchesClosedForm)
+{
+    const int rows = 256;
+    const BitlineModel bl = makeBitline(t, RamCellTech::CommDram, rows);
+    const CellParams &cell = t.cell(RamCellTech::CommDram);
+    const double expected = cell.vddCell / 2.0 * cell.cStorage /
+                            (cell.cStorage + bl.cBitline);
+    EXPECT_NEAR(bl.senseMargin, expected, expected * 1e-9);
+}
+
+TEST_F(BitlineTest, TooManyRowsBecomesInfeasible)
+{
+    // Find the feasibility cliff: margin below kSenseMargin.
+    bool found_infeasible = false;
+    for (int rows = 128; rows <= 65536; rows *= 2) {
+        const BitlineModel bl =
+            makeBitline(t, RamCellTech::LpDram, rows);
+        if (!bl.feasible) {
+            found_infeasible = true;
+            EXPECT_LT(bl.senseMargin, kSenseMargin);
+            break;
+        }
+    }
+    EXPECT_TRUE(found_infeasible);
+}
+
+TEST_F(BitlineTest, SramWriteCostsMoreThanRead)
+{
+    const BitlineModel bl = makeBitline(t, RamCellTech::Sram, 128);
+    EXPECT_GT(bl.writeEnergy, bl.readEnergy);
+}
+
+TEST_F(BitlineTest, LongerBitlinesAreSlower)
+{
+    for (RamCellTech tech : {RamCellTech::Sram, RamCellTech::LpDram,
+                             RamCellTech::CommDram}) {
+        const BitlineModel a = makeBitline(t, tech, 64);
+        const BitlineModel b = makeBitline(t, tech, 512);
+        EXPECT_GT(b.develDelay, a.develDelay) << toString(tech);
+    }
+}
+
+TEST_F(BitlineTest, CommDramSlowerThanLpDram)
+{
+    // The thick-oxide access device and tungsten bitline make the
+    // commodity array slower than the logic-process one.
+    const BitlineModel lp = makeBitline(t, RamCellTech::LpDram, 256);
+    const BitlineModel cm = makeBitline(t, RamCellTech::CommDram, 256);
+    EXPECT_GT(cm.develDelay, lp.develDelay);
+    EXPECT_GT(cm.writebackDelay, lp.writebackDelay);
+}
+
+/** Row sweep: physical sanity across the whole range. */
+class BitlineRowSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(BitlineRowSweep, EnergiesAndDelaysPositive)
+{
+    const Technology t(32.0);
+    const auto tech = static_cast<RamCellTech>(std::get<0>(GetParam()));
+    const int rows = std::get<1>(GetParam());
+    const BitlineModel bl = makeBitline(t, tech, rows);
+    EXPECT_GT(bl.cBitline, 0.0);
+    EXPECT_GT(bl.develDelay, 0.0);
+    EXPECT_GT(bl.readEnergy, 0.0);
+    EXPECT_GT(bl.writeEnergy, 0.0);
+    EXPECT_GT(bl.senseMargin, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TechRows, BitlineRowSweep,
+    ::testing::Combine(::testing::Range(0, kNumRamCellTechs),
+                       ::testing::Values(16, 64, 128, 256, 512)));
+
+} // namespace

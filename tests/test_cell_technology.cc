@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for cell parameters and the Technology container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/technology.hh"
+
+namespace {
+
+using namespace cactid;
+
+TEST(Cell, PaperTable1AreasAt32nm)
+{
+    const double f = 32e-9;
+    EXPECT_DOUBLE_EQ(makeCellParams(RamCellTech::Sram, f).areaF2, 146.0);
+    EXPECT_DOUBLE_EQ(makeCellParams(RamCellTech::LpDram, f).areaF2,
+                     30.0);
+    EXPECT_DOUBLE_EQ(makeCellParams(RamCellTech::CommDram, f).areaF2,
+                     6.0);
+}
+
+TEST(Cell, GeometryConsistentWithArea)
+{
+    for (RamCellTech tech : {RamCellTech::Sram, RamCellTech::LpDram,
+                             RamCellTech::CommDram}) {
+        const double f = 45e-9;
+        const CellParams c = makeCellParams(tech, f);
+        EXPECT_NEAR(c.width * c.height, c.areaF2 * f * f,
+                    c.areaF2 * f * f * 1e-9);
+    }
+}
+
+TEST(Cell, Table1ParametersAt32nm)
+{
+    const double f = 32e-9;
+    const CellParams lp = makeCellParams(RamCellTech::LpDram, f);
+    const CellParams cm = makeCellParams(RamCellTech::CommDram, f);
+    EXPECT_NEAR(lp.cStorage, 20e-15, 1e-16);
+    EXPECT_NEAR(cm.cStorage, 30e-15, 1e-16);
+    EXPECT_NEAR(lp.vpp, 1.5, 1e-9);
+    EXPECT_NEAR(cm.vpp, 2.6, 1e-9);
+    EXPECT_NEAR(lp.retention, 0.12e-3, 1e-9);
+    EXPECT_NEAR(cm.retention, 64e-3, 1e-9);
+}
+
+TEST(Cell, CommDramUsesLstpPeripheryAndTungstenBitlines)
+{
+    const CellParams cm = makeCellParams(RamCellTech::CommDram, 32e-9);
+    EXPECT_EQ(cm.peripheralDevice, DeviceKind::ItrsLstp);
+    EXPECT_EQ(cm.bitlineConductor, Conductor::Tungsten);
+    const CellParams sram = makeCellParams(RamCellTech::Sram, 32e-9);
+    EXPECT_EQ(sram.peripheralDevice, DeviceKind::HpLongChannel);
+    EXPECT_EQ(sram.bitlineConductor, Conductor::Copper);
+}
+
+TEST(Cell, RetentionShrinksWithScalingForLpDram)
+{
+    const double r90 = makeCellParams(RamCellTech::LpDram, 90e-9).retention;
+    const double r32 = makeCellParams(RamCellTech::LpDram, 32e-9).retention;
+    EXPECT_GT(r90, r32);
+}
+
+TEST(Technology, RejectsOutOfRangeInput)
+{
+    EXPECT_THROW(Technology(22.0), std::invalid_argument);
+    EXPECT_THROW(Technology(130.0), std::invalid_argument);
+    EXPECT_THROW(Technology(65.0, 250.0), std::invalid_argument);
+    EXPECT_THROW(Technology(65.0, 450.0), std::invalid_argument);
+}
+
+TEST(Technology, LeakageDerateIsOneAt300K)
+{
+    const Technology t(65.0, 300.0);
+    EXPECT_NEAR(t.leakageDerate(), 1.0, 1e-12);
+}
+
+TEST(Technology, LeakageGrowsWithTemperature)
+{
+    const Technology cold(65.0, 320.0);
+    const Technology hot(65.0, 380.0);
+    EXPECT_GT(hot.leakageDerate(), cold.leakageDerate());
+    // Doubling every 25 K.
+    EXPECT_NEAR(Technology(65.0, 325.0).leakageDerate(), 2.0, 1e-9);
+}
+
+TEST(Technology, InterpolatedNodeLiesBetweenNeighbours)
+{
+    const Technology t90(90.0);
+    const Technology t78(78.0);
+    const Technology t65(65.0);
+    const double i90 = t90.device(DeviceKind::ItrsHp).iOnN;
+    const double i78 = t78.device(DeviceKind::ItrsHp).iOnN;
+    const double i65 = t65.device(DeviceKind::ItrsHp).iOnN;
+    EXPECT_GT(i78, std::min(i90, i65));
+    EXPECT_LT(i78, std::max(i90, i65));
+}
+
+TEST(Technology, ExactNodesMatchTables)
+{
+    const Technology t(45.0);
+    const DeviceParams d = deviceParamsAtNode(DeviceKind::ItrsLop, 45);
+    EXPECT_DOUBLE_EQ(t.device(DeviceKind::ItrsLop).iOnN, d.iOnN);
+}
+
+TEST(Technology, SramCellCurrentsFilled)
+{
+    const Technology t(32.0);
+    const CellParams &c = t.cell(RamCellTech::Sram);
+    EXPECT_GT(c.iCellOn, 0.0);
+    EXPECT_GT(c.iCellLeak300, 0.0);
+    EXPECT_DOUBLE_EQ(c.vddCell,
+                     t.device(DeviceKind::HpLongChannel).vdd);
+}
+
+TEST(Technology, DramCellsDoNotLeakStatically)
+{
+    const Technology t(32.0);
+    EXPECT_DOUBLE_EQ(t.cell(RamCellTech::LpDram).iCellLeak300, 0.0);
+    EXPECT_DOUBLE_EQ(t.cell(RamCellTech::CommDram).iCellLeak300, 0.0);
+}
+
+TEST(Technology, MinWidthIsThreeF)
+{
+    const Technology t(32.0);
+    EXPECT_DOUBLE_EQ(t.minWidth(), 3.0 * 32e-9);
+}
+
+TEST(Technology, InverterLeakageScalesWithWidth)
+{
+    const Technology t(32.0);
+    const double narrow =
+        t.inverterLeakage(DeviceKind::ItrsHp, t.minWidth());
+    const double wide =
+        t.inverterLeakage(DeviceKind::ItrsHp, 4.0 * t.minWidth());
+    EXPECT_NEAR(wide / narrow, 4.0, 1e-9);
+}
+
+/** Interpolation continuity across the whole supported range. */
+class FeatureSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(FeatureSweep, AllDeviceAndWireDataSane)
+{
+    const Technology t(GetParam());
+    for (int k = 0; k < kNumDeviceKinds; ++k) {
+        const DeviceParams &d =
+            t.device(static_cast<DeviceKind>(k));
+        EXPECT_GT(d.iOnN, 0.0);
+        EXPECT_GT(d.cGate, 0.0);
+        EXPECT_GT(d.vdd, 0.3);
+    }
+    for (int p = 0; p < kNumWirePlanes; ++p) {
+        const WireParams &w = t.wire(static_cast<WirePlane>(p));
+        EXPECT_GT(w.resPerM, 0.0);
+        EXPECT_GT(w.capPerM, 0.0);
+    }
+    for (int c = 0; c < kNumRamCellTechs; ++c) {
+        const CellParams &cell =
+            t.cell(static_cast<RamCellTech>(c));
+        EXPECT_GT(cell.width, 0.0);
+        EXPECT_GT(cell.height, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Features, FeatureSweep,
+                         ::testing::Values(32.0, 38.0, 45.0, 52.0, 65.0,
+                                           70.0, 78.0, 90.0));
+
+} // namespace

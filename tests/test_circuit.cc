@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the circuit building blocks: delay primitives, gates, gate
+ * area, drivers, decoders, sense amps and comparators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/comparator.hh"
+#include "circuit/decoder.hh"
+#include "circuit/delay.hh"
+#include "circuit/driver.hh"
+#include "circuit/gate_area.hh"
+#include "circuit/logic_gate.hh"
+#include "circuit/senseamp.hh"
+#include "tech/technology.hh"
+
+namespace {
+
+using namespace cactid;
+
+// --- Delay primitives -------------------------------------------------
+
+TEST(Delay, HorowitzStepInputMatchesRcLog)
+{
+    const double tf = 10e-12;
+    EXPECT_NEAR(horowitz(0.0, tf, 0.5), tf * std::log(2.0), 1e-15);
+}
+
+TEST(Delay, HorowitzSlowerInputSlowerOutput)
+{
+    const double tf = 10e-12;
+    EXPECT_GT(horowitz(50e-12, tf, 0.5), horowitz(5e-12, tf, 0.5));
+}
+
+TEST(Delay, HorowitzMonotonicInTf)
+{
+    EXPECT_GT(horowitz(10e-12, 20e-12, 0.5),
+              horowitz(10e-12, 10e-12, 0.5));
+}
+
+TEST(Delay, StageDelayAccumulates)
+{
+    Edge e{};
+    e = stageDelay(e, 10e-12);
+    const double first = e.delay;
+    e = stageDelay(e, 10e-12);
+    EXPECT_GT(e.delay, first);
+    EXPECT_GT(e.slope, 0.0);
+}
+
+TEST(Delay, RcWireDelayElmoreTerms)
+{
+    // Pure driver into lumped load.
+    EXPECT_NEAR(rcWireDelay(1000.0, 0.0, 0.0, 1e-15), 0.69e-12, 1e-16);
+    // Adding wire resistance increases delay.
+    EXPECT_GT(rcWireDelay(1000.0, 500.0, 1e-15, 1e-15),
+              rcWireDelay(1000.0, 0.0, 1e-15, 1e-15));
+}
+
+// --- Logic gates -------------------------------------------------------
+
+class GateTest : public ::testing::Test
+{
+  protected:
+    Technology t{32.0};
+};
+
+TEST_F(GateTest, InputCapScalesWithWidth)
+{
+    const LogicGate g1(GateType::Inv, DeviceKind::ItrsHp, 100e-9);
+    const LogicGate g2(GateType::Inv, DeviceKind::ItrsHp, 200e-9);
+    EXPECT_NEAR(g2.inputCap(t) / g1.inputCap(t), 2.0, 1e-9);
+}
+
+TEST_F(GateTest, ResistanceInverselyScalesWithWidth)
+{
+    const LogicGate g1(GateType::Inv, DeviceKind::ItrsHp, 100e-9);
+    const LogicGate g2(GateType::Inv, DeviceKind::ItrsHp, 400e-9);
+    EXPECT_NEAR(g1.resistance(t) / g2.resistance(t), 4.0, 1e-9);
+}
+
+TEST_F(GateTest, StackWideningKeepsDrive)
+{
+    const LogicGate inv(GateType::Inv, DeviceKind::ItrsHp, 100e-9);
+    const LogicGate nand(GateType::Nand2, DeviceKind::ItrsHp, 100e-9);
+    EXPECT_NEAR(inv.resistance(t), nand.resistance(t),
+                inv.resistance(t) * 0.01);
+    // ... at the price of more input capacitance.
+    EXPECT_GT(nand.inputCap(t), inv.inputCap(t));
+}
+
+TEST_F(GateTest, StackCounts)
+{
+    EXPECT_EQ(LogicGate(GateType::Nand3, DeviceKind::ItrsHp, 1e-7)
+                  .nmosStack(),
+              3);
+    EXPECT_EQ(LogicGate(GateType::Nor2, DeviceKind::ItrsHp, 1e-7)
+                  .pmosStack(),
+              2);
+}
+
+TEST_F(GateTest, LeakageAndEnergyPositive)
+{
+    const LogicGate g(GateType::Nand2, DeviceKind::ItrsLstp, 100e-9);
+    EXPECT_GT(g.leakage(t), 0.0);
+    EXPECT_GT(g.switchEnergy(t, 1e-15), 0.0);
+}
+
+TEST_F(GateTest, LstpGateLeaksLessThanHp)
+{
+    const LogicGate hp(GateType::Inv, DeviceKind::ItrsHp, 100e-9);
+    const LogicGate lstp(GateType::Inv, DeviceKind::ItrsLstp, 100e-9);
+    EXPECT_GT(hp.leakage(t), 100.0 * lstp.leakage(t));
+}
+
+// --- Gate area ----------------------------------------------------------
+
+TEST_F(GateTest, TransistorFoldsUnderHeightLimit)
+{
+    const double w = 2e-6;
+    const Footprint tall = transistorFootprint(t, w, 0.0);
+    const Footprint folded = transistorFootprint(t, w, 200e-9);
+    EXPECT_LT(folded.height, tall.height);
+    EXPECT_GT(folded.width, tall.width);
+}
+
+TEST_F(GateTest, FoldingRoughlyPreservesArea)
+{
+    const double w = 4e-6;
+    const Footprint tall = transistorFootprint(t, w, 0.0);
+    const Footprint folded = transistorFootprint(t, w, 400e-9);
+    EXPECT_GT(folded.area(), 0.5 * tall.area());
+    EXPECT_LT(folded.area(), 4.0 * tall.area());
+}
+
+TEST_F(GateTest, GateFootprintGrowsWithDrive)
+{
+    const LogicGate small(GateType::Inv, DeviceKind::ItrsHp,
+                          t.minWidth());
+    const LogicGate big(GateType::Inv, DeviceKind::ItrsHp,
+                        16.0 * t.minWidth());
+    EXPECT_GT(gateFootprint(t, big, 0.0).area(),
+              gateFootprint(t, small, 0.0).area());
+}
+
+TEST_F(GateTest, ZeroWidthTransistorHasNoFootprint)
+{
+    EXPECT_DOUBLE_EQ(transistorFootprint(t, 0.0, 0.0).area(), 0.0);
+}
+
+// --- Driver chains -------------------------------------------------------
+
+TEST_F(GateTest, BiggerLoadNeedsMoreStages)
+{
+    const DriverChain small = sizeDriverChain(
+        t, DeviceKind::ItrsHp, 10e-15, 0.0, 0.0, Edge{});
+    const DriverChain big = sizeDriverChain(
+        t, DeviceKind::ItrsHp, 10e-12, 0.0, 0.0, Edge{});
+    EXPECT_GT(big.stages, small.stages);
+    EXPECT_GT(big.out.delay, small.out.delay);
+}
+
+TEST_F(GateTest, DriverEnergyScalesWithLoad)
+{
+    const DriverChain a = sizeDriverChain(
+        t, DeviceKind::ItrsHp, 100e-15, 0.0, 0.0, Edge{});
+    const DriverChain b = sizeDriverChain(
+        t, DeviceKind::ItrsHp, 400e-15, 0.0, 0.0, Edge{});
+    EXPECT_GT(b.energy, 2.0 * a.energy);
+}
+
+TEST_F(GateTest, BoostedSwingIncreasesEnergyOnly)
+{
+    const DriverChain plain = sizeDriverChain(
+        t, DeviceKind::ItrsHp, 100e-15, 0.0, 0.0, Edge{}, 0.0, 0.0,
+        0.0);
+    const DriverChain boosted = sizeDriverChain(
+        t, DeviceKind::ItrsHp, 100e-15, 0.0, 0.0, Edge{}, 0.0, 0.0,
+        2.6);
+    EXPECT_GT(boosted.energy, plain.energy);
+    EXPECT_NEAR(boosted.out.delay, plain.out.delay,
+                plain.out.delay * 1e-9);
+}
+
+// --- Decoder --------------------------------------------------------------
+
+TEST_F(GateTest, DecoderDelayGrowsWithRows)
+{
+    const Decoder d256(t, DeviceKind::HpLongChannel, 256, 50e-15,
+                       5000.0, 100e-9);
+    const Decoder d4096(t, DeviceKind::HpLongChannel, 4096, 50e-15,
+                        5000.0, 100e-9);
+    EXPECT_GT(d4096.delay(Edge{}).delay, d256.delay(Edge{}).delay);
+    EXPECT_GT(d4096.leakage(), d256.leakage());
+    EXPECT_GT(d4096.area(), d256.area());
+}
+
+TEST_F(GateTest, DecoderAddressBits)
+{
+    const Decoder d(t, DeviceKind::HpLongChannel, 1024, 50e-15, 5000.0,
+                    100e-9);
+    EXPECT_EQ(d.addressBits(), 10);
+}
+
+TEST_F(GateTest, DecoderRejectsDegenerateRows)
+{
+    EXPECT_THROW(Decoder(t, DeviceKind::ItrsHp, 1, 1e-15, 1.0, 1e-7),
+                 std::invalid_argument);
+}
+
+TEST_F(GateTest, BoostedWordlineCostsMoreEnergy)
+{
+    const Decoder plain(t, DeviceKind::ItrsLstp, 512, 80e-15, 8000.0,
+                        96e-9, 0.0);
+    const Decoder boosted(t, DeviceKind::ItrsLstp, 512, 80e-15, 8000.0,
+                          96e-9, 2.6);
+    EXPECT_GT(boosted.energyPerAccess(), plain.energyPerAccess());
+}
+
+TEST_F(GateTest, DecoderInputEdgeDelayAdds)
+{
+    const Decoder d(t, DeviceKind::ItrsHp, 128, 20e-15, 1000.0, 1e-7);
+    const Edge in{1e-9, 20e-12};
+    EXPECT_NEAR(d.delay(in).delay - d.delay(Edge{}).delay, 1e-9,
+                1e-15);
+}
+
+// --- Sense amp / comparator -----------------------------------------------
+
+TEST_F(GateTest, SenseAmpSlowerForSmallerMargin)
+{
+    const SenseAmp sa(t, DeviceKind::HpLongChannel, 100e-9);
+    EXPECT_GT(sa.delay(t, 0.05), sa.delay(t, 0.2));
+    EXPECT_GT(sa.energy(t), 0.0);
+    EXPECT_GT(sa.leakage(t), 0.0);
+    EXPECT_GT(sa.area(), 0.0);
+}
+
+TEST_F(GateTest, ComparatorScalesWithTagBits)
+{
+    const Comparator c20(t, DeviceKind::HpLongChannel, 20);
+    const Comparator c40(t, DeviceKind::HpLongChannel, 40);
+    EXPECT_GT(c40.energy(), c20.energy());
+    EXPECT_GT(c40.leakage(), c20.leakage());
+    EXPECT_GE(c40.delay(Edge{}).delay, c20.delay(Edge{}).delay);
+}
+
+} // namespace

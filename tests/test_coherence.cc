@@ -1,0 +1,188 @@
+/**
+ * @file
+ * MESI hierarchy tests: single-writer invariant, sharing, cache-to-
+ * cache forwarding, inclusion, and level attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache/coherence.hh"
+
+namespace {
+
+using namespace archsim;
+
+HierarchyParams
+smallSystem(bool with_l3)
+{
+    HierarchyParams hp;
+    hp.l1Bytes = 4 << 10;
+    hp.l2Bytes = 64 << 10;
+    if (with_l3) {
+        LlcParams lp;
+        lp.capacityBytes = 1 << 20;
+        lp.assoc = 8;
+        lp.nBanks = 8;
+        lp.nSubbanks = 4;
+        lp.accessCycles = 5;
+        lp.interleaveCycles = 1;
+        lp.randomCycles = 3;
+        hp.llc = lp;
+    }
+    return hp;
+}
+
+TEST(Coherence, FirstTouchComesFromMemory)
+{
+    CacheHierarchy h(smallSystem(true));
+    const auto r = h.access(0, 0x1000, false, false, 0);
+    EXPECT_EQ(r.servedBy, ServedBy::Memory);
+    EXPECT_GT(r.latency, 20u);
+}
+
+TEST(Coherence, SecondTouchHitsL1)
+{
+    CacheHierarchy h(smallSystem(true));
+    h.access(0, 0x1000, false, false, 0);
+    const auto r = h.access(0, 0x1000, false, false, 100);
+    EXPECT_EQ(r.servedBy, ServedBy::L1);
+    EXPECT_EQ(r.latency, 2u);
+}
+
+TEST(Coherence, ReadSharingAcrossCores)
+{
+    CacheHierarchy h(smallSystem(true));
+    h.access(0, 0x1000, false, false, 0);
+    // Core 1 reads the same line: it must NOT come from memory again
+    // (the L3 holds it).
+    const auto r = h.access(1, 0x1000, false, false, 1000);
+    EXPECT_EQ(r.servedBy, ServedBy::L3);
+}
+
+TEST(Coherence, DirtyLineForwardedCacheToCache)
+{
+    CacheHierarchy h(smallSystem(true));
+    h.access(0, 0x2000, true, false, 0); // core 0 owns dirty
+    const auto before = h.counters().c2cTransfers;
+    const auto r = h.access(1, 0x2000, false, false, 1000);
+    EXPECT_EQ(r.servedBy, ServedBy::RemoteL2);
+    EXPECT_EQ(h.counters().c2cTransfers, before + 1);
+}
+
+TEST(Coherence, WriteInvalidatesOtherCopies)
+{
+    CacheHierarchy h(smallSystem(true));
+    h.access(0, 0x3000, false, false, 0);
+    h.access(1, 0x3000, false, false, 100);
+    // Core 1 writes: core 0's copy must be gone; a subsequent read by
+    // core 0 cannot hit its own L1/L2.
+    h.access(1, 0x3000, true, false, 200);
+    const auto r = h.access(0, 0x3000, false, false, 300);
+    EXPECT_NE(r.servedBy, ServedBy::L1);
+    EXPECT_NE(r.servedBy, ServedBy::L2);
+}
+
+TEST(Coherence, StoreUpgradeOnSharedLine)
+{
+    CacheHierarchy h(smallSystem(true));
+    h.access(0, 0x4000, false, false, 0);
+    h.access(1, 0x4000, false, false, 100); // now shared
+    // Core 0 upgrades in place.
+    const auto r = h.access(0, 0x4000, true, false, 200);
+    EXPECT_EQ(r.servedBy, ServedBy::L2);
+    // And core 1 lost its copy.
+    const auto r1 = h.access(1, 0x4000, false, false, 300);
+    EXPECT_NE(r1.servedBy, ServedBy::L1);
+}
+
+TEST(Coherence, SingleWriterInvariant)
+{
+    CacheHierarchy h(smallSystem(true));
+    // Ping-pong writes between two cores many times; each store must
+    // end with the other core unable to hit locally.
+    for (int i = 0; i < 20; ++i) {
+        const int writer = i % 2;
+        const int other = 1 - writer;
+        h.access(writer, 0x5000, true, false, 100 * i);
+        const auto r =
+            h.access(other, 0x5000, false, false, 100 * i + 50);
+        EXPECT_NE(r.servedBy, ServedBy::L1) << i;
+        // After the read it is shared again; the next write upgrades.
+    }
+}
+
+TEST(Coherence, L2HitAfterL1Eviction)
+{
+    CacheHierarchy h(smallSystem(true));
+    // Fill well beyond L1 (4KB = 64 lines) but within L2.
+    for (Addr a = 0; a < (32 << 10); a += 64)
+        h.access(0, 0x10000 + a, false, false, a);
+    // The first line fell out of L1 but must hit L2.
+    const auto r = h.access(0, 0x10000, false, false, 1 << 20);
+    EXPECT_EQ(r.servedBy, ServedBy::L2);
+}
+
+TEST(Coherence, L3HitAfterL2Eviction)
+{
+    CacheHierarchy h(smallSystem(true));
+    // Fill beyond L2 (64KB) but within the 1MB L3.
+    for (Addr a = 0; a < (512 << 10); a += 64)
+        h.access(0, 0x100000 + a, false, false, a / 8);
+    const auto r = h.access(0, 0x100000, false, false, 1 << 22);
+    EXPECT_EQ(r.servedBy, ServedBy::L3);
+}
+
+TEST(Coherence, NoL3GoesStraightToMemory)
+{
+    CacheHierarchy h(smallSystem(false));
+    for (Addr a = 0; a < (512 << 10); a += 64)
+        h.access(0, 0x100000 + a, false, false, a / 8);
+    const auto r = h.access(0, 0x100000, false, false, 1 << 22);
+    EXPECT_EQ(r.servedBy, ServedBy::Memory);
+    EXPECT_EQ(h.llc(), nullptr);
+}
+
+TEST(Coherence, DirtyEvictionsReachMemoryEventually)
+{
+    CacheHierarchy h(smallSystem(false));
+    // Write a lot of dirty data, then overflow: memory must see writes.
+    for (Addr a = 0; a < (256 << 10); a += 64)
+        h.access(0, 0x200000 + a, true, false, a / 8);
+    EXPECT_GT(h.dramCounters().writes, 100u);
+}
+
+TEST(Coherence, InstructionFetchesUseL1I)
+{
+    CacheHierarchy h(smallSystem(true));
+    h.access(0, 0x7000, false, true, 0);
+    const auto r = h.access(0, 0x7000, false, true, 10);
+    EXPECT_EQ(r.servedBy, ServedBy::L1);
+    // The D-side is cold for this address only at L1; the line already
+    // sits in the shared L2.
+    const auto rd = h.access(0, 0x7000, false, false, 20);
+    EXPECT_EQ(rd.servedBy, ServedBy::L2);
+}
+
+TEST(Coherence, CountersAdvance)
+{
+    CacheHierarchy h(smallSystem(true));
+    h.access(0, 0x8000, false, false, 0);
+    h.access(0, 0x8000, true, false, 10);
+    const HierCounters &c = h.counters();
+    EXPECT_EQ(c.l1Reads, 1u);
+    EXPECT_EQ(c.l1Writes, 1u);
+    EXPECT_GE(c.l2Reads, 1u);
+    EXPECT_GT(c.xbarTransfers, 0u);
+}
+
+TEST(Coherence, LatencyGrowsDownTheHierarchy)
+{
+    CacheHierarchy h(smallSystem(true));
+    const auto mem = h.access(0, 0x9000, false, false, 0);
+    const auto l1 = h.access(0, 0x9000, false, false, 1000);
+    h.access(1, 0x9000, false, false, 2000);
+    CacheHierarchy h2(smallSystem(true));
+    EXPECT_GT(mem.latency, l1.latency);
+}
+
+} // namespace

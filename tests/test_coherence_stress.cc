@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Randomized MESI stress tests: drive the hierarchy with adversarial
+ * random traffic and check the protocol invariants after every access.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache/coherence.hh"
+#include "sim/common.hh"
+
+namespace {
+
+using namespace archsim;
+
+HierarchyParams
+stressSystem(bool with_l3)
+{
+    HierarchyParams hp;
+    hp.l1Bytes = 2 << 10; // tiny: maximum eviction pressure
+    hp.l1Assoc = 2;
+    hp.l2Bytes = 8 << 10;
+    hp.l2Assoc = 2;
+    if (with_l3) {
+        LlcParams lp;
+        lp.capacityBytes = 64 << 10;
+        lp.assoc = 4;
+        lp.nBanks = 2;
+        lp.nSubbanks = 2;
+        hp.llc = lp;
+    }
+    return hp;
+}
+
+/** Shared fixture logic: random traffic + invariant checks. */
+void
+stress(bool with_l3, std::uint64_t seed, int accesses, int lines)
+{
+    CacheHierarchy h(stressSystem(with_l3));
+    Rng rng(seed);
+    Cycle now = 0;
+    std::vector<Addr> touched;
+    for (int i = 0; i < accesses; ++i) {
+        // Small line pool -> constant conflict and sharing.
+        const Addr addr = rng.below(lines) * 64;
+        const int core = int(rng.below(8));
+        const bool write = rng.uniform() < 0.4;
+        const auto r = h.access(core, addr, write, false, now);
+        now += r.latency + 1;
+        ASSERT_TRUE(h.coherent(addr))
+            << "incoherent after access " << i << " core " << core
+            << (write ? " write " : " read ") << std::hex << addr;
+        if (write) {
+            // The writer must now hold a writable copy locally.
+            ASSERT_TRUE(writable(h.l2State(core, addr)))
+                << "writer lacks ownership after access " << i;
+        }
+        touched.push_back(addr);
+        if (i % 64 == 0) {
+            // Periodically audit a sample of history.
+            for (std::size_t k = 0; k < touched.size(); k += 17)
+                ASSERT_TRUE(h.coherent(touched[k]));
+        }
+    }
+}
+
+TEST(CoherenceStress, RandomTrafficWithL3)
+{
+    stress(true, 0xDEAD, 4000, 64);
+}
+
+TEST(CoherenceStress, RandomTrafficWithoutL3)
+{
+    stress(false, 0xBEEF, 4000, 64);
+}
+
+TEST(CoherenceStress, SingleLineAllCores)
+{
+    // The worst case: every core hammers one line.
+    stress(true, 0xF00D, 2000, 1);
+}
+
+TEST(CoherenceStress, WideAddressRange)
+{
+    stress(true, 0xCAFE, 3000, 4096);
+}
+
+class CoherenceStressSeeds : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CoherenceStressSeeds, Randomized)
+{
+    stress(GetParam() % 2 == 0, 0x1000 + GetParam(), 2500, 96);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceStressSeeds,
+                         ::testing::Range(0, 10));
+
+} // namespace

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit and property tests for the device models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/device.hh"
+
+namespace {
+
+using namespace cactid;
+
+constexpr int kNodes[] = {90, 65, 45, 32};
+
+constexpr DeviceKind kLogicKinds[] = {
+    DeviceKind::ItrsHp, DeviceKind::ItrsLstp, DeviceKind::ItrsLop,
+    DeviceKind::HpLongChannel};
+
+constexpr DeviceKind kAllKinds[] = {
+    DeviceKind::ItrsHp,        DeviceKind::ItrsLstp,
+    DeviceKind::ItrsLop,       DeviceKind::HpLongChannel,
+    DeviceKind::LpDramAccess,  DeviceKind::CommDramAccess};
+
+TEST(Device, ToStringCoversAllKinds)
+{
+    for (DeviceKind k : kAllKinds)
+        EXPECT_FALSE(toString(k).empty());
+}
+
+TEST(Device, AllTabulatedParametersArePositive)
+{
+    for (DeviceKind k : kAllKinds) {
+        for (int n : kNodes) {
+            const DeviceParams d = deviceParamsAtNode(k, n);
+            EXPECT_GT(d.vdd, 0.0) << toString(k) << " " << n;
+            EXPECT_GT(d.vth, 0.0);
+            EXPECT_GT(d.lPhy, 0.0);
+            EXPECT_GT(d.cGate, 0.0);
+            EXPECT_GT(d.cGateIdeal, 0.0);
+            EXPECT_GT(d.cJunction, 0.0);
+            EXPECT_GT(d.iOnN, 0.0);
+            EXPECT_GT(d.iOnP, 0.0);
+            EXPECT_GT(d.iOffN, 0.0);
+            EXPECT_GE(d.iGate, 0.0);
+        }
+    }
+}
+
+TEST(Device, UnsupportedNodeThrows)
+{
+    EXPECT_THROW(deviceParamsAtNode(DeviceKind::ItrsHp, 22),
+                 std::invalid_argument);
+    EXPECT_THROW(deviceParamsAtNode(DeviceKind::ItrsHp, 130),
+                 std::invalid_argument);
+}
+
+TEST(Device, HpOnCurrentImprovesWithScaling)
+{
+    double prev = 0.0;
+    for (int n : kNodes) {
+        const DeviceParams d = deviceParamsAtNode(DeviceKind::ItrsHp, n);
+        EXPECT_GT(d.iOnN, prev);
+        prev = d.iOnN;
+    }
+}
+
+TEST(Device, VddNeverIncreasesWithScaling)
+{
+    for (DeviceKind k : kLogicKinds) {
+        double prev = 10.0;
+        for (int n : kNodes) {
+            const DeviceParams d = deviceParamsAtNode(k, n);
+            EXPECT_LE(d.vdd, prev) << toString(k) << " " << n;
+            prev = d.vdd;
+        }
+    }
+}
+
+TEST(Device, LstpLeakagePinnedNear10pAPerUm)
+{
+    for (int n : kNodes) {
+        const DeviceParams d =
+            deviceParamsAtNode(DeviceKind::ItrsLstp, n);
+        // 10 pA/um == 1e-5 A/m.
+        EXPECT_NEAR(d.iOffN, 1e-5, 1e-6);
+    }
+}
+
+TEST(Device, LeakageOrderingHpGreaterLopGreaterLstp)
+{
+    for (int n : kNodes) {
+        const double hp =
+            deviceParamsAtNode(DeviceKind::ItrsHp, n).iOffN;
+        const double lop =
+            deviceParamsAtNode(DeviceKind::ItrsLop, n).iOffN;
+        const double lstp =
+            deviceParamsAtNode(DeviceKind::ItrsLstp, n).iOffN;
+        EXPECT_GT(hp, lop);
+        EXPECT_GT(lop, lstp);
+    }
+}
+
+TEST(Device, SpeedOrderingHpFastestLstpSlowest)
+{
+    // Intrinsic switching delay ~ rOn * cGate (per width it cancels).
+    auto tau = [](DeviceKind k, int n) {
+        const DeviceParams d = deviceParamsAtNode(k, n);
+        return d.rNchOn() * d.cGateIdeal;
+    };
+    for (int n : kNodes) {
+        EXPECT_LT(tau(DeviceKind::ItrsHp, n),
+                  tau(DeviceKind::ItrsLop, n));
+        EXPECT_LT(tau(DeviceKind::ItrsLop, n),
+                  tau(DeviceKind::ItrsLstp, n));
+    }
+}
+
+TEST(Device, LongChannelTradesDriveForLeakage)
+{
+    for (int n : kNodes) {
+        const DeviceParams hp =
+            deviceParamsAtNode(DeviceKind::ItrsHp, n);
+        const DeviceParams lc =
+            deviceParamsAtNode(DeviceKind::HpLongChannel, n);
+        EXPECT_LT(lc.iOnN, hp.iOnN);
+        EXPECT_LT(lc.iOffN, hp.iOffN / 5.0);
+        EXPECT_GT(lc.lPhy, hp.lPhy);
+    }
+}
+
+TEST(Device, LstpGateLengthLagsHp)
+{
+    for (int n : kNodes) {
+        const DeviceParams hp =
+            deviceParamsAtNode(DeviceKind::ItrsHp, n);
+        const DeviceParams lstp =
+            deviceParamsAtNode(DeviceKind::ItrsLstp, n);
+        EXPECT_GT(lstp.lPhy, hp.lPhy);
+    }
+}
+
+TEST(Device, CommDramAccessLeakageSupports64msRetention)
+{
+    // The commodity cell must lose well under Cs*Vdd/2 charge in 64 ms.
+    const DeviceParams d =
+        deviceParamsAtNode(DeviceKind::CommDramAccess, 32);
+    const double width = 32e-9;
+    const double leak = d.iOffN * width;     // A
+    const double charge_loss = leak * 64e-3; // C over a retention period
+    const double stored = 30e-15 * 1.0 / 2.0; // Cs * Vdd/2
+    EXPECT_LT(charge_loss, stored);
+}
+
+TEST(Device, EffectiveResistanceMatchesVddOverIon)
+{
+    const DeviceParams d = deviceParamsAtNode(DeviceKind::ItrsHp, 32);
+    EXPECT_NEAR(d.rNchOn(), d.vdd / d.iOnN * DeviceParams::kEffResMultiplier,
+                1e-9);
+    EXPECT_GT(d.rPchOn(), d.rNchOn()); // PMOS weaker per width
+}
+
+TEST(Device, InterpolationEndpoints)
+{
+    const DeviceParams a = deviceParamsAtNode(DeviceKind::ItrsHp, 90);
+    const DeviceParams b = deviceParamsAtNode(DeviceKind::ItrsHp, 65);
+    const DeviceParams at0 = interpolate(a, b, 0.0);
+    const DeviceParams at1 = interpolate(a, b, 1.0);
+    EXPECT_DOUBLE_EQ(at0.iOnN, a.iOnN);
+    EXPECT_DOUBLE_EQ(at1.iOnN, b.iOnN);
+}
+
+TEST(Device, InterpolationIsMonotonic)
+{
+    const DeviceParams a = deviceParamsAtNode(DeviceKind::ItrsHp, 90);
+    const DeviceParams b = deviceParamsAtNode(DeviceKind::ItrsHp, 65);
+    double prev = a.iOnN;
+    for (double f = 0.1; f <= 1.0; f += 0.1) {
+        const DeviceParams m = interpolate(a, b, f);
+        EXPECT_GE(m.iOnN, prev);
+        prev = m.iOnN;
+    }
+}
+
+/** Parameterized sweep: every (kind, node) pair gives sane physics. */
+class DeviceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(DeviceSweep, OnCurrentExceedsLeakageByOrders)
+{
+    const auto kind = static_cast<DeviceKind>(std::get<0>(GetParam()));
+    const int node = std::get<1>(GetParam());
+    const DeviceParams d = deviceParamsAtNode(kind, node);
+    EXPECT_GT(d.iOnN, 100.0 * d.iOffN);
+}
+
+TEST_P(DeviceSweep, GateCapExceedsIntrinsic)
+{
+    const auto kind = static_cast<DeviceKind>(std::get<0>(GetParam()));
+    const int node = std::get<1>(GetParam());
+    const DeviceParams d = deviceParamsAtNode(kind, node);
+    EXPECT_GE(d.cGate, d.cGateIdeal * 0.99);
+}
+
+TEST_P(DeviceSweep, VthBelowVdd)
+{
+    const auto kind = static_cast<DeviceKind>(std::get<0>(GetParam()));
+    const int node = std::get<1>(GetParam());
+    const DeviceParams d = deviceParamsAtNode(kind, node);
+    if (kind == DeviceKind::CommDramAccess ||
+        kind == DeviceKind::LpDramAccess) {
+        // DRAM access devices conduct under the boosted wordline, so
+        // Vth may approach the storage VDD.
+        EXPECT_LT(d.vth, d.vdd + 1.7);
+    } else {
+        EXPECT_LT(d.vth, d.vdd);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllNodes, DeviceSweep,
+    ::testing::Combine(::testing::Range(0, kNumDeviceKinds),
+                       ::testing::Values(90, 65, 45, 32)));
+
+} // namespace

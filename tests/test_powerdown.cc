@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the DRAM power-down extension (the paper's future-work
+ * suggestion implemented in the memory model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dram/dram.hh"
+#include "sim/power/power.hh"
+
+namespace {
+
+using namespace archsim;
+
+DramParams
+pdParams(bool enabled)
+{
+    DramParams p;
+    p.powerDown = enabled;
+    p.powerDownAfter = 100;
+    p.tPowerDownExit = 12;
+    return p;
+}
+
+TEST(PowerDown, DisabledMeansNoResidency)
+{
+    MemorySystem m(pdParams(false));
+    m.access(0x0, false, 0);
+    m.access(0x0, false, 100000);
+    m.finish(200000);
+    EXPECT_EQ(m.counters().powerDownCycles, 0u);
+    EXPECT_DOUBLE_EQ(m.poweredDownFraction(200000), 0.0);
+}
+
+TEST(PowerDown, LongIdleAccumulatesResidency)
+{
+    MemorySystem m(pdParams(true));
+    m.access(0x0, false, 0);
+    m.finish(100000 + 100);
+    EXPECT_GT(m.counters().powerDownCycles, 90000u);
+    EXPECT_GT(m.poweredDownFraction(100100), 0.4);
+    EXPECT_LE(m.poweredDownFraction(100100), 1.0);
+}
+
+TEST(PowerDown, WakeupCostsLatency)
+{
+    MemorySystem cold(pdParams(true));
+    MemorySystem warm(pdParams(true));
+    cold.access(0x0, false, 0);
+    warm.access(0x0, false, 0);
+    // Far-future access to the same row: the powered-down system pays
+    // the exit latency.
+    const Cycle pd = cold.access(0x80, false, 100000);
+    MemorySystem no_pd(pdParams(false));
+    no_pd.access(0x0, false, 0);
+    const Cycle active = no_pd.access(0x80, false, 100000);
+    EXPECT_EQ(pd, active + 12);
+    EXPECT_EQ(cold.counters().powerDownEntries, 1u);
+}
+
+TEST(PowerDown, ShortGapsStayActive)
+{
+    MemorySystem m(pdParams(true));
+    Cycle t = 0;
+    for (int i = 0; i < 10; ++i) {
+        m.access(0x0, false, t);
+        t += 50; // below the threshold
+    }
+    EXPECT_EQ(m.counters().powerDownEntries, 0u);
+}
+
+TEST(PowerDown, StandbyPowerScalesWithResidency)
+{
+    PowerParams p;
+    p.memStandbyW = 1.0;
+    p.powerDownResidual = 0.35;
+    SimStats s;
+    s.cycles = 1000000;
+    s.memPoweredDownFraction = 0.0;
+    const double full = computePower(p, s).mainStandby;
+    s.memPoweredDownFraction = 1.0;
+    const double parked = computePower(p, s).mainStandby;
+    EXPECT_NEAR(full, 1.0, 1e-12);
+    EXPECT_NEAR(parked, 0.35, 1e-12);
+    s.memPoweredDownFraction = 0.5;
+    EXPECT_NEAR(computePower(p, s).mainStandby, 0.675, 1e-12);
+}
+
+TEST(PowerDown, FinishIsIdempotent)
+{
+    MemorySystem m(pdParams(true));
+    m.access(0x0, false, 0);
+    m.finish(50000);
+    const auto once = m.counters().powerDownCycles;
+    m.finish(50000);
+    EXPECT_EQ(m.counters().powerDownCycles, once);
+}
+
+} // namespace

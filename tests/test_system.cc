@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the core timing model and whole-system simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu/system.hh"
+
+namespace {
+
+using namespace archsim;
+
+HierarchyParams
+tinySystem()
+{
+    HierarchyParams hp;
+    hp.l1Bytes = 4 << 10;
+    hp.l2Bytes = 64 << 10;
+    LlcParams lp;
+    lp.capacityBytes = 1 << 20;
+    lp.assoc = 8;
+    hp.llc = lp;
+    return hp;
+}
+
+WorkloadParams
+computeBound()
+{
+    WorkloadParams w;
+    w.name = "compute";
+    w.memFrac = 0.05;
+    w.fpFrac = 1.0;
+    w.hotFrac = 1.0;
+    w.hotBytes = 2 << 10;
+    w.barrierEvery = 0;
+    w.lockRate = 0.0;
+    return w;
+}
+
+TEST(System, RunsToCompletion)
+{
+    System sys(tinySystem(), computeBound(), 2000);
+    const SimStats s = sys.run();
+    EXPECT_EQ(s.instructions, 2000u * 32u);
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_GT(s.ipc, 0.0);
+    EXPECT_LE(s.ipc, 8.0 + 1e-9);
+}
+
+TEST(System, Deterministic)
+{
+    System a(tinySystem(), computeBound(), 3000);
+    System b(tinySystem(), computeBound(), 3000);
+    EXPECT_EQ(a.run().cycles, b.run().cycles);
+}
+
+TEST(System, ComputeBoundIsIssueLimited)
+{
+    // Pure FP threads: each core retires ~1 instruction/cycle.
+    WorkloadParams w = computeBound();
+    w.memFrac = 0.0;
+    const SimStats s = System(tinySystem(), w, 5000).run();
+    EXPECT_GT(s.ipc, 6.0);
+    EXPECT_GT(s.fInstruction, 0.99);
+}
+
+TEST(System, MemoryBoundShowsMemoryStalls)
+{
+    WorkloadParams w = computeBound();
+    w.name = "membound";
+    w.memFrac = 0.5;
+    w.hotFrac = 0.0;
+    w.streamFrac = 0.0;
+    w.alpha = 1.0;
+    w.wsBytes = 8 << 20;
+    const SimStats s = System(tinySystem(), w, 3000).run();
+    EXPECT_GT(s.fMemory, 0.5);
+    EXPECT_LT(s.ipc, 4.0);
+    EXPECT_GT(s.avgReadLatency, 10.0);
+}
+
+TEST(System, BreakdownFractionsSumToOne)
+{
+    WorkloadParams w = computeBound();
+    w.memFrac = 0.3;
+    w.hotFrac = 0.5;
+    w.barrierEvery = 500;
+    const SimStats s = System(tinySystem(), w, 4000).run();
+    const double sum = s.fInstruction + s.fL2 + s.fL3 + s.fMemory +
+                       s.fBarrier + s.fLock;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(System, BarriersCostCycles)
+{
+    WorkloadParams w = computeBound();
+    w.barrierEvery = 200;
+    const SimStats with_b = System(tinySystem(), w, 4000).run();
+    EXPECT_GT(with_b.fBarrier, 0.0);
+}
+
+TEST(System, LocksSerialize)
+{
+    WorkloadParams w = computeBound();
+    w.lockRate = 0.02;
+    const SimStats s = System(tinySystem(), w, 4000).run();
+    EXPECT_GT(s.fLock, 0.0);
+    EXPECT_EQ(s.instructions, 4000u * 32u);
+}
+
+TEST(System, LockedRunStillTerminatesWithBarriers)
+{
+    WorkloadParams w = computeBound();
+    w.lockRate = 0.05;
+    w.barrierEvery = 300;
+    const SimStats s = System(tinySystem(), w, 3000).run();
+    EXPECT_EQ(s.instructions, 3000u * 32u);
+}
+
+TEST(System, FewerThreadsFewerInstructions)
+{
+    System small(tinySystem(), computeBound(), 1000, 2, 2);
+    const SimStats s = small.run();
+    EXPECT_EQ(s.instructions, 1000u * 4u);
+}
+
+TEST(System, SharedDataStaysCoherent)
+{
+    // All threads hammer the same small shared region with stores; the
+    // run must terminate and count every instruction exactly once.
+    WorkloadParams w;
+    w.name = "sharing";
+    w.memFrac = 0.6;
+    w.storeFrac = 0.5;
+    w.hotFrac = 0.0;
+    w.streamFrac = 0.0;
+    w.sharedFrac = 1.0;
+    w.alpha = 2.0;
+    w.wsBytes = 8 << 10;
+    w.barrierEvery = 0;
+    const SimStats s = System(tinySystem(), w, 2000).run();
+    EXPECT_EQ(s.instructions, 2000u * 32u);
+    EXPECT_GT(s.hier.l1Writes, 0u);
+}
+
+TEST(System, L3HelpsCacheFittingWorkload)
+{
+    WorkloadParams w = computeBound();
+    w.name = "l3fit";
+    w.memFrac = 0.4;
+    w.hotFrac = 0.2;
+    w.streamFrac = 0.3;
+    w.alpha = 2.0;
+    w.wsBytes = (512 << 10) / 32.0; // 512KB total: inside the 1MB L3
+    w.barrierEvery = 0;
+
+    HierarchyParams with_l3 = tinySystem();
+    HierarchyParams no_l3 = tinySystem();
+    no_l3.llc.reset();
+
+    const SimStats a = System(with_l3, w, 20000).run();
+    const SimStats b = System(no_l3, w, 20000).run();
+    EXPECT_LT(a.cycles, b.cycles);
+}
+
+TEST(System, ReadLatencyAtLeastL1Latency)
+{
+    const SimStats s =
+        System(tinySystem(), computeBound(), 3000).run();
+    EXPECT_GE(s.avgReadLatency, 2.0);
+}
+
+} // namespace

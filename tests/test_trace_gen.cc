@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators.
+ */
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "sim/workload/npb.hh"
+#include "sim/workload/trace_gen.hh"
+
+namespace {
+
+using namespace archsim;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(TraceGen, Deterministic)
+{
+    const WorkloadParams w = npbWorkload("ft.B");
+    ThreadGen a(w, 3, 32), b(w, 3, 32);
+    for (int i = 0; i < 1000; ++i) {
+        const Inst x = a.next();
+        const Inst y = b.next();
+        EXPECT_EQ(static_cast<int>(x.op), static_cast<int>(y.op));
+        EXPECT_EQ(x.addr, y.addr);
+    }
+}
+
+TEST(TraceGen, DifferentThreadsDifferentStreams)
+{
+    const WorkloadParams w = npbWorkload("ft.B");
+    ThreadGen a(w, 0, 32), b(w, 1, 32);
+    int same = 0;
+    int compared = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const Inst x = a.next();
+        const Inst y = b.next();
+        const bool x_mem = x.op == Op::Load || x.op == Op::Store;
+        const bool y_mem = y.op == Op::Load || y.op == Op::Store;
+        if (!x_mem || !y_mem)
+            continue;
+        ++compared;
+        if (x.addr == y.addr)
+            ++same;
+    }
+    ASSERT_GT(compared, 100);
+    EXPECT_LT(same, compared / 10);
+}
+
+TEST(TraceGen, InstructionMixMatchesParams)
+{
+    WorkloadParams w = npbWorkload("bt.C");
+    w.barrierEvery = 0;
+    w.lockRate = 0.0;
+    ThreadGen g(w, 0, 32);
+    std::map<Op, int> count;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++count[g.next().op];
+    const double mem =
+        double(count[Op::Load] + count[Op::Store]) / n;
+    EXPECT_NEAR(mem, w.memFrac, 0.01);
+    const double stores =
+        double(count[Op::Store]) /
+        double(count[Op::Load] + count[Op::Store]);
+    EXPECT_NEAR(stores, w.storeFrac, 0.02);
+    const double fp = double(count[Op::Fp]) /
+                      double(count[Op::Fp] + count[Op::Other]);
+    EXPECT_NEAR(fp, w.fpFrac, 0.02);
+}
+
+TEST(TraceGen, BarrierCadence)
+{
+    WorkloadParams w = npbWorkload("mg.B");
+    w.lockRate = 0.0;
+    ThreadGen g(w, 0, 32);
+    std::uint64_t since = 0;
+    int barriers = 0;
+    for (int i = 0; i < 500000 && barriers < 3; ++i) {
+        ++since;
+        if (g.next().op == Op::Barrier) {
+            EXPECT_NEAR(double(since), double(w.barrierEvery),
+                        double(w.barrierEvery) * 0.01);
+            since = 0;
+            ++barriers;
+        }
+    }
+    EXPECT_GE(barriers, 3);
+}
+
+TEST(TraceGen, LocksAlwaysPairedWithCriticalSection)
+{
+    WorkloadParams w = npbWorkload("ua.C");
+    ThreadGen g(w, 0, 32);
+    bool held = false;
+    int cs = 0;
+    int pairs = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const Inst inst = g.next();
+        if (inst.op == Op::Lock) {
+            EXPECT_FALSE(held);
+            held = true;
+            cs = 0;
+        } else if (inst.op == Op::Unlock) {
+            EXPECT_TRUE(held);
+            // The critical section holds the configured work.
+            EXPECT_EQ(cs, w.criticalSection);
+            held = false;
+            ++pairs;
+        } else if (held) {
+            ++cs;
+        }
+    }
+    EXPECT_GT(pairs, 10);
+}
+
+TEST(TraceGen, NoBarrierWhileHoldingLock)
+{
+    WorkloadParams w = npbWorkload("ua.C");
+    w.barrierEvery = 50;
+    w.lockRate = 0.05;
+    ThreadGen g(w, 0, 32);
+    bool held = false;
+    for (int i = 0; i < 100000; ++i) {
+        const Inst inst = g.next();
+        if (inst.op == Op::Lock) {
+            held = true;
+        } else if (inst.op == Op::Unlock) {
+            held = false;
+        } else if (inst.op == Op::Barrier) {
+            EXPECT_FALSE(held);
+        }
+    }
+}
+
+TEST(TraceGen, AddressesAligned)
+{
+    const WorkloadParams w = npbWorkload("is.C");
+    ThreadGen g(w, 5, 32);
+    for (int i = 0; i < 50000; ++i) {
+        const Inst inst = g.next();
+        if (inst.op == Op::Load || inst.op == Op::Store) {
+            EXPECT_EQ(inst.addr % 8, 0u);
+        }
+    }
+}
+
+TEST(TraceGen, PowerLawConcentratesAccesses)
+{
+    // With alpha > 1, a small head of the region receives a
+    // disproportionate share of accesses.
+    WorkloadParams w = npbWorkload("bt.C");
+    ThreadGen g(w, 0, 32);
+    std::uint64_t head = 0, total = 0;
+    const auto region = std::uint64_t(w.wsBytes) * 32;
+    for (int i = 0; i < 300000; ++i) {
+        const Inst inst = g.next();
+        if (inst.op != Op::Load && inst.op != Op::Store)
+            continue;
+        if (inst.addr < 0x1'0000'0000ULL)
+            continue; // hot region
+        ++total;
+        if (inst.addr - 0x1'0000'0000ULL < region / 10) {
+            ++head;
+        }
+    }
+    ASSERT_GT(total, 100u);
+    EXPECT_GT(double(head) / double(total), 0.25);
+}
+
+TEST(TraceGen, UniformAlphaSpreadsAccesses)
+{
+    WorkloadParams w = npbWorkload("cg.C"); // alpha == 1
+    w.streamFrac = 0.0;
+    ThreadGen g(w, 0, 32);
+    std::uint64_t head = 0, total = 0;
+    const auto region = std::uint64_t(w.wsBytes) * 32;
+    for (int i = 0; i < 300000; ++i) {
+        const Inst inst = g.next();
+        if (inst.op != Op::Load && inst.op != Op::Store)
+            continue;
+        if (inst.addr < 0x1'0000'0000ULL)
+            continue;
+        ++total;
+        if (inst.addr - 0x1'0000'0000ULL < region / 10) {
+            ++head;
+        }
+    }
+    ASSERT_GT(total, 100u);
+    EXPECT_NEAR(double(head) / double(total), 0.1 + w.sharedFrac * 0.0,
+                0.35);
+}
+
+TEST(Npb, SuiteHasEightApplications)
+{
+    const auto suite = npbSuite();
+    EXPECT_EQ(suite.size(), 8u);
+    for (const WorkloadParams &w : suite) {
+        EXPECT_GT(w.memFrac, 0.1);
+        EXPECT_LT(w.memFrac, 0.6);
+        EXPECT_GE(w.hotFrac, 0.5);
+        EXPECT_LE(w.hotFrac, 1.0);
+        EXPECT_GE(w.alpha, 1.0);
+        EXPECT_GT(w.wsBytes, 0.0);
+    }
+}
+
+TEST(Npb, LookupByName)
+{
+    EXPECT_EQ(npbWorkload("cg.C").alpha, 1.0);
+    EXPECT_THROW(npbWorkload("xz.Q"), std::invalid_argument);
+}
+
+TEST(Npb, CgHasLargestUniformWorkingSet)
+{
+    const WorkloadParams cg = npbWorkload("cg.C");
+    for (const WorkloadParams &w : npbSuite()) {
+        if (w.name != "cg.C") {
+            EXPECT_LT(w.wsBytes, cg.wsBytes + 1.0);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit and property tests for the wire and repeated-wire models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/technology.hh"
+#include "tech/wire.hh"
+
+namespace {
+
+using namespace cactid;
+
+TEST(Wire, ResistivityIncludesBarrierSurcharge)
+{
+    // Narrower copper is more resistive.
+    EXPECT_GT(resistivity(Conductor::Copper, 30e-9),
+              resistivity(Conductor::Copper, 300e-9));
+    // Tungsten fill is several times worse than copper.
+    EXPECT_GT(resistivity(Conductor::Tungsten, 64e-9),
+              3.0 * resistivity(Conductor::Copper, 300e-9));
+}
+
+TEST(Wire, MakeGeometry)
+{
+    const WireParams w =
+        WireParams::make(4.0, 32e-9, 2.0, 2.7, Conductor::Copper);
+    EXPECT_DOUBLE_EQ(w.pitch, 4.0 * 32e-9);
+    EXPECT_DOUBLE_EQ(w.width, w.pitch / 2.0);
+    EXPECT_DOUBLE_EQ(w.thickness, 2.0 * w.width);
+    EXPECT_GT(w.resPerM, 0.0);
+    EXPECT_GT(w.capPerM, 0.0);
+}
+
+TEST(Wire, WiderPlanesHaveLowerResistance)
+{
+    const Technology t(32.0);
+    EXPECT_GT(t.wire(WirePlane::Local).resPerM,
+              t.wire(WirePlane::SemiGlobal).resPerM);
+    EXPECT_GT(t.wire(WirePlane::SemiGlobal).resPerM,
+              t.wire(WirePlane::Global).resPerM);
+}
+
+TEST(Wire, CapacitancePerLengthIsPlausible)
+{
+    // Typical on-chip wires run 0.1 - 0.4 fF/um.
+    const Technology t(32.0);
+    for (WirePlane p : {WirePlane::Local, WirePlane::SemiGlobal,
+                        WirePlane::Global}) {
+        const double c = t.wire(p).capPerM;
+        EXPECT_GT(c, 0.1e-9) << toString(p);
+        EXPECT_LT(c, 0.5e-9) << toString(p);
+    }
+}
+
+TEST(Wire, InterpolationEndpoints)
+{
+    const WireParams a =
+        WireParams::make(4.0, 90e-9, 2.0, 3.3, Conductor::Copper);
+    const WireParams b =
+        WireParams::make(4.0, 65e-9, 2.0, 3.0, Conductor::Copper);
+    EXPECT_DOUBLE_EQ(interpolate(a, b, 0.0).resPerM, a.resPerM);
+    EXPECT_DOUBLE_EQ(interpolate(a, b, 1.0).capPerM, b.capPerM);
+}
+
+class RepeatedWireTest : public ::testing::Test
+{
+  protected:
+    Technology tech{32.0};
+};
+
+TEST_F(RepeatedWireTest, OptimalDelayBeatsDerated)
+{
+    const WireParams &w = tech.wire(WirePlane::SemiGlobal);
+    const DeviceParams &d = tech.device(DeviceKind::ItrsHp);
+    const RepeatedWire opt(w, d, 1.0);
+    const RepeatedWire slow(w, d, 2.0);
+    EXPECT_LE(opt.delayPerM(), slow.delayPerM());
+    EXPECT_LE(slow.delayPerM(), 2.0 * opt.delayPerM() * 1.0001);
+}
+
+TEST_F(RepeatedWireTest, DeratingSavesEnergy)
+{
+    const WireParams &w = tech.wire(WirePlane::SemiGlobal);
+    const DeviceParams &d = tech.device(DeviceKind::ItrsHp);
+    const RepeatedWire opt(w, d, 1.0);
+    const RepeatedWire slow(w, d, 3.0);
+    EXPECT_LT(slow.energyPerM(), opt.energyPerM());
+    EXPECT_LT(slow.leakagePerM(), opt.leakagePerM());
+}
+
+TEST_F(RepeatedWireTest, InvalidDerateThrows)
+{
+    const WireParams &w = tech.wire(WirePlane::Global);
+    EXPECT_THROW(
+        RepeatedWire(w, tech.device(DeviceKind::ItrsHp), 0.5),
+        std::invalid_argument);
+}
+
+TEST_F(RepeatedWireTest, DelayIsPlausible)
+{
+    // Optimally repeated semi-global wires run tens of ps/mm at 32 nm.
+    const RepeatedWire r(tech.wire(WirePlane::SemiGlobal),
+                         tech.device(DeviceKind::ItrsHp), 1.0);
+    const double ps_per_mm = r.delayPerM() * 1e12 * 1e-3;
+    EXPECT_GT(ps_per_mm, 10.0);
+    EXPECT_LT(ps_per_mm, 500.0);
+}
+
+TEST_F(RepeatedWireTest, SlowerDevicesGiveSlowerWires)
+{
+    const WireParams &w = tech.wire(WirePlane::SemiGlobal);
+    const RepeatedWire hp(w, tech.device(DeviceKind::ItrsHp), 1.0);
+    const RepeatedWire lstp(w, tech.device(DeviceKind::ItrsLstp), 1.0);
+    EXPECT_LT(hp.delayPerM(), lstp.delayPerM());
+}
+
+TEST_F(RepeatedWireTest, RepeaterGeometryPositive)
+{
+    const RepeatedWire r(tech.wire(WirePlane::Global),
+                         tech.device(DeviceKind::ItrsHp), 1.0);
+    EXPECT_GT(r.repeaterSize(), 1.0);
+    EXPECT_GT(r.repeaterSpacing(), 10e-6);
+}
+
+/** Derate sweep: delay within budget, energy monotonically falling. */
+class DerateSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DerateSweep, DelayWithinBudgetAndEnergyNoWorse)
+{
+    const Technology t(45.0);
+    const WireParams &w = t.wire(WirePlane::SemiGlobal);
+    const DeviceParams &d = t.device(DeviceKind::HpLongChannel);
+    const RepeatedWire opt(w, d, 1.0);
+    const RepeatedWire derated(w, d, GetParam());
+    EXPECT_LE(derated.delayPerM(),
+              GetParam() * opt.delayPerM() * 1.0001);
+    EXPECT_LE(derated.energyPerM(), opt.energyPerM() * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Derates, DerateSweep,
+                         ::testing::Values(1.0, 1.2, 1.5, 2.0, 2.5, 3.0,
+                                           4.0));
+
+} // namespace

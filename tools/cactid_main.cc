@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The `cactid` command-line tool: solve a memory configuration read
+ * from a config file (or stdin) and print the chosen organization, a
+ * CSV of the filtered solution space, or a capacity sweep.
+ *
+ * Usage:
+ *   cactid <config-file>                solve and print a report
+ *   cactid <config-file> --csv          CSV of the filtered solutions
+ *   cactid <config-file> --sweep 1M,2M,4M
+ *                                       re-solve per capacity, table out
+ *   cactid --help
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "core/cacti.hh"
+#include "tools/config_parser.hh"
+
+namespace {
+
+void
+printHelp()
+{
+    std::printf(
+        "cactid - analytical memory modeling (CACTI-D reproduction)\n"
+        "\n"
+        "usage:\n"
+        "  cactid <config-file>              solve and report\n"
+        "  cactid <config-file> --csv        CSV of filtered solutions\n"
+        "  cactid <config-file> --sweep A,B  capacity sweep (K/M/G "
+        "suffixes)\n"
+        "  cactid -                          read the config from "
+        "stdin\n"
+        "\n"
+        "config keys: size block associativity banks type access_mode\n"
+        "  technology tag_technology feature_nm temperature_k sleep_tx\n"
+        "  ecc max_area max_acctime repeater_derate weight_* io_bits\n"
+        "  burst_length prefetch_width page_bytes address_bits\n");
+}
+
+void
+printCsv(const cactid::SolveResult &res)
+{
+    std::printf("access_ns,cycle_ns,interleave_ns,area_mm2,"
+                "area_efficiency,read_nJ,write_nJ,leakage_W,refresh_W,"
+                "rows,cols,blmux,sammux,mats\n");
+    for (const cactid::Solution &s : res.filtered) {
+        std::printf("%.4f,%.4f,%.4f,%.3f,%.3f,%.4f,%.4f,%.4f,%.5f,"
+                    "%d,%d,%d,%d,%d\n",
+                    s.accessTime * 1e9, s.randomCycle * 1e9,
+                    s.interleaveCycle * 1e9, s.totalArea * 1e6,
+                    s.areaEfficiency, s.readEnergy * 1e9,
+                    s.writeEnergy * 1e9, s.leakage, s.refreshPower,
+                    s.data.part.rowsPerSubarray,
+                    s.data.part.colsPerSubarray, s.data.part.blMux,
+                    s.data.part.samMux, s.data.nMats);
+    }
+}
+
+void
+printSweep(cactid::MemoryConfig cfg, const std::string &list)
+{
+    std::printf("%-10s %9s %10s %10s %9s %9s\n", "capacity", "acc(ns)",
+                "area(mm2)", "rdE(nJ)", "leak(W)", "refresh(W)");
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        cfg.capacityBytes = cactid::tools::parseCapacity(item);
+        const cactid::Solution s = cactid::solve(cfg).best;
+        std::printf("%-10s %9.3f %10.2f %10.3f %9.3f %9.4f\n",
+                    item.c_str(), s.accessTime * 1e9,
+                    s.totalArea * 1e6, s.readEnergy * 1e9, s.leakage,
+                    s.refreshPower);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+        std::strcmp(argv[1], "-h") == 0) {
+        printHelp();
+        return argc < 2 ? 1 : 0;
+    }
+
+    try {
+        cactid::MemoryConfig cfg;
+        if (std::strcmp(argv[1], "-") == 0) {
+            cfg = cactid::tools::parseConfig(std::cin);
+        } else {
+            std::ifstream f(argv[1]);
+            if (!f) {
+                std::fprintf(stderr, "cactid: cannot open %s\n",
+                             argv[1]);
+                return 1;
+            }
+            cfg = cactid::tools::parseConfig(f);
+        }
+
+        if (argc >= 4 && std::strcmp(argv[2], "--sweep") == 0) {
+            printSweep(cfg, argv[3]);
+            return 0;
+        }
+
+        const cactid::SolveResult res = cactid::solve(cfg);
+        if (argc >= 3 && std::strcmp(argv[2], "--csv") == 0) {
+            printCsv(res);
+            return 0;
+        }
+
+        std::printf("=== %s ===\n", cfg.summary().c_str());
+        std::printf("%s", res.best.report().c_str());
+        std::printf("(%zu organizations explored, %zu passed the "
+                    "constraints)\n",
+                    res.all.size(), res.filtered.size());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cactid: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Configuration-file parser implementation.
+ */
+
+#include "tools/config_parser.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace cactid::tools {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t\r");
+    const auto e = s.find_last_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+bool
+parseBool(const std::string &v, int line_no)
+{
+    const std::string s = lower(v);
+    if (s == "true" || s == "1" || s == "yes")
+        return true;
+    if (s == "false" || s == "0" || s == "no")
+        return false;
+    throw std::invalid_argument("line " + std::to_string(line_no) +
+                                ": expected boolean, got '" + v + "'");
+}
+
+RamCellTech
+parseTech(const std::string &v, int line_no)
+{
+    const std::string s = lower(v);
+    if (s == "sram")
+        return RamCellTech::Sram;
+    if (s == "lp-dram" || s == "lpdram" || s == "edram")
+        return RamCellTech::LpDram;
+    if (s == "comm-dram" || s == "commdram" || s == "dram")
+        return RamCellTech::CommDram;
+    throw std::invalid_argument("line " + std::to_string(line_no) +
+                                ": unknown technology '" + v + "'");
+}
+
+} // namespace
+
+double
+parseCapacity(const std::string &text)
+{
+    std::string t = trim(text);
+    if (t.empty())
+        throw std::invalid_argument("empty capacity");
+    double mult = 1.0;
+    switch (std::tolower(static_cast<unsigned char>(t.back()))) {
+      case 'k': mult = 1024.0; break;
+      case 'm': mult = 1024.0 * 1024.0; break;
+      case 'g': mult = 1024.0 * 1024.0 * 1024.0; break;
+      default: break;
+    }
+    if (mult != 1.0)
+        t.pop_back();
+    std::size_t used = 0;
+    const double base = std::stod(t, &used);
+    if (used != t.size())
+        throw std::invalid_argument("bad capacity '" + text + "'");
+    return base * mult;
+}
+
+MemoryConfig
+parseConfig(std::istream &in)
+{
+    MemoryConfig cfg;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument(
+                "line " + std::to_string(line_no) + ": expected key = "
+                "value");
+        }
+        const std::string key = lower(trim(line.substr(0, eq)));
+        const std::string value = trim(line.substr(eq + 1));
+        if (value.empty()) {
+            throw std::invalid_argument("line " +
+                                        std::to_string(line_no) +
+                                        ": empty value for " + key);
+        }
+
+        auto num = [&] { return std::stod(value); };
+        auto integer = [&] { return std::stoi(value); };
+
+        if (key == "size") {
+            cfg.capacityBytes = parseCapacity(value);
+        } else if (key == "block") {
+            cfg.blockBytes = integer();
+        } else if (key == "associativity") {
+            cfg.associativity = integer();
+        } else if (key == "banks") {
+            cfg.nBanks = integer();
+        } else if (key == "type") {
+            const std::string v = lower(value);
+            if (v == "ram")
+                cfg.type = MemoryType::PlainRam;
+            else if (v == "cache")
+                cfg.type = MemoryType::Cache;
+            else if (v == "main_memory" || v == "main-memory")
+                cfg.type = MemoryType::MainMemoryChip;
+            else
+                throw std::invalid_argument(
+                    "line " + std::to_string(line_no) +
+                    ": unknown type '" + value + "'");
+        } else if (key == "access_mode") {
+            const std::string v = lower(value);
+            if (v == "normal")
+                cfg.accessMode = AccessMode::Normal;
+            else if (v == "sequential")
+                cfg.accessMode = AccessMode::Sequential;
+            else if (v == "fast")
+                cfg.accessMode = AccessMode::Fast;
+            else
+                throw std::invalid_argument(
+                    "line " + std::to_string(line_no) +
+                    ": unknown access mode '" + value + "'");
+        } else if (key == "technology") {
+            cfg.dataCellTech = parseTech(value, line_no);
+        } else if (key == "tag_technology") {
+            cfg.tagCellTech = parseTech(value, line_no);
+        } else if (key == "feature_nm") {
+            cfg.featureNm = num();
+        } else if (key == "temperature_k") {
+            cfg.temperatureK = num();
+        } else if (key == "sleep_tx") {
+            cfg.sleepTransistors = parseBool(value, line_no);
+        } else if (key == "ecc") {
+            cfg.includeEcc = parseBool(value, line_no);
+        } else if (key == "max_area") {
+            cfg.maxAreaConstraint = num();
+        } else if (key == "max_acctime") {
+            cfg.maxAccTimeConstraint = num();
+        } else if (key == "repeater_derate") {
+            cfg.repeaterDerate = num();
+        } else if (key == "weight_dynamic") {
+            cfg.weights.dynamicEnergy = num();
+        } else if (key == "weight_leakage") {
+            cfg.weights.leakage = num();
+        } else if (key == "weight_cycle") {
+            cfg.weights.randomCycle = num();
+        } else if (key == "weight_interleave") {
+            cfg.weights.interleaveCycle = num();
+        } else if (key == "weight_acctime") {
+            cfg.weights.accessTime = num();
+        } else if (key == "weight_area") {
+            cfg.weights.area = num();
+        } else if (key == "io_bits") {
+            cfg.ioBits = integer();
+        } else if (key == "burst_length") {
+            cfg.burstLength = integer();
+        } else if (key == "prefetch_width") {
+            cfg.prefetchWidth = integer();
+        } else if (key == "page_bytes") {
+            cfg.pageBytes = integer();
+        } else if (key == "address_bits") {
+            cfg.physicalAddressBits = integer();
+        } else {
+            throw std::invalid_argument("line " +
+                                        std::to_string(line_no) +
+                                        ": unknown key '" + key + "'");
+        }
+    }
+    return cfg;
+}
+
+} // namespace cactid::tools

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The `archsim-trace` tool: dump a synthetic workload to the portable
+ * trace format, or replay a trace file through one of the study's six
+ * system configurations.
+ *
+ * Usage:
+ *   archsim-trace dump <workload> <n-per-thread> [threads] > t.trace
+ *   archsim-trace run  <trace-file> <config> [n-per-thread]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "sim/study.hh"
+#include "sim/workload/trace_file.hh"
+
+namespace {
+
+void
+printHelp()
+{
+    std::printf(
+        "archsim-trace - dump / replay instruction traces\n"
+        "\n"
+        "usage:\n"
+        "  archsim-trace dump <workload> <n-per-thread> [threads=32]\n"
+        "      write a synthetic trace to stdout (e.g. 'ft.B')\n"
+        "  archsim-trace run <trace-file> <config> [n-per-thread]\n"
+        "      replay through a study configuration (nol3, sram,\n"
+        "      lp_dram_ed, lp_dram_c, cm_dram_ed, cm_dram_c)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace archsim;
+    if (argc < 2) {
+        printHelp();
+        return 1;
+    }
+
+    try {
+        if (std::strcmp(argv[1], "dump") == 0 && argc >= 4) {
+            const WorkloadParams w = npbWorkload(argv[2]);
+            const auto n = std::strtoull(argv[3], nullptr, 10);
+            const int threads =
+                argc >= 5 ? std::atoi(argv[4]) : 32;
+            writeTrace(std::cout, w, threads, n);
+            return 0;
+        }
+        if (std::strcmp(argv[1], "run") == 0 && argc >= 4) {
+            std::ifstream f(argv[2]);
+            if (!f) {
+                std::fprintf(stderr, "cannot open %s\n", argv[2]);
+                return 1;
+            }
+            const TraceFile trace = TraceFile::load(f);
+            const std::uint64_t n =
+                argc >= 5 ? std::strtoull(argv[4], nullptr, 10)
+                          : 100000;
+
+            Study study;
+            System sys(study.hierarchyFor(argv[3]), trace, n);
+            const SimStats s = sys.run();
+            const PowerBreakdown b =
+                computePower(study.powerFor(argv[3]), s);
+            std::printf("trace replay on %s: %llu instructions, IPC "
+                        "%.2f, read latency %.1f cycles\n",
+                        argv[3],
+                        static_cast<unsigned long long>(s.instructions),
+                        s.ipc, s.avgReadLatency);
+            std::printf("memory hierarchy power %.2f W, system %.2f W, "
+                        "exec %.3f ms\n",
+                        b.memoryHierarchy(), b.system(),
+                        b.execSeconds * 1e3);
+            return 0;
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "archsim-trace: %s\n", e.what());
+        return 1;
+    }
+    printHelp();
+    return 1;
+}
