@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_llc_interface.dir/bench_ablation_llc_interface.cc.o"
+  "CMakeFiles/bench_ablation_llc_interface.dir/bench_ablation_llc_interface.cc.o.d"
+  "bench_ablation_llc_interface"
+  "bench_ablation_llc_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_llc_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

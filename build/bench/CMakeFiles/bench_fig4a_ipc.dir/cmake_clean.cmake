@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_ipc.dir/bench_fig4a_ipc.cc.o"
+  "CMakeFiles/bench_fig4a_ipc.dir/bench_fig4a_ipc.cc.o.d"
+  "bench_fig4a_ipc"
+  "bench_fig4a_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_system_edp.dir/bench_fig5b_system_edp.cc.o"
+  "CMakeFiles/bench_fig5b_system_edp.dir/bench_fig5b_system_edp.cc.o.d"
+  "bench_fig5b_system_edp"
+  "bench_fig5b_system_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_system_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_technology.dir/bench_table1_technology.cc.o"
+  "CMakeFiles/bench_table1_technology.dir/bench_table1_technology.cc.o.d"
+  "bench_table1_technology"
+  "bench_table1_technology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dram_validation.dir/bench_table2_dram_validation.cc.o"
+  "CMakeFiles/bench_table2_dram_validation.dir/bench_table2_dram_validation.cc.o.d"
+  "bench_table2_dram_validation"
+  "bench_table2_dram_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dram_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

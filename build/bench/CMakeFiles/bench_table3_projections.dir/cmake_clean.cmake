@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_projections.dir/bench_table3_projections.cc.o"
+  "CMakeFiles/bench_table3_projections.dir/bench_table3_projections.cc.o.d"
+  "bench_table3_projections"
+  "bench_table3_projections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_projections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

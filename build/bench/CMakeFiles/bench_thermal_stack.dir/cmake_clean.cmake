@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thermal_stack.dir/bench_thermal_stack.cc.o"
+  "CMakeFiles/bench_thermal_stack.dir/bench_thermal_stack.cc.o.d"
+  "bench_thermal_stack"
+  "bench_thermal_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thermal_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

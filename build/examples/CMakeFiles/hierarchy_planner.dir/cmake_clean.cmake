@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_planner.dir/hierarchy_planner.cpp.o"
+  "CMakeFiles/hierarchy_planner.dir/hierarchy_planner.cpp.o.d"
+  "hierarchy_planner"
+  "hierarchy_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

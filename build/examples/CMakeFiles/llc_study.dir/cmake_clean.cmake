@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llc_study.dir/llc_study.cpp.o"
+  "CMakeFiles/llc_study.dir/llc_study.cpp.o.d"
+  "llc_study"
+  "llc_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llc_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

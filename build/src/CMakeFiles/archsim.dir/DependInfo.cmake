@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache/cache.cc" "src/CMakeFiles/archsim.dir/sim/cache/cache.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/cache/cache.cc.o.d"
+  "/root/repo/src/sim/cache/coherence.cc" "src/CMakeFiles/archsim.dir/sim/cache/coherence.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/cache/coherence.cc.o.d"
+  "/root/repo/src/sim/cache/llc.cc" "src/CMakeFiles/archsim.dir/sim/cache/llc.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/cache/llc.cc.o.d"
+  "/root/repo/src/sim/cpu/core.cc" "src/CMakeFiles/archsim.dir/sim/cpu/core.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/cpu/core.cc.o.d"
+  "/root/repo/src/sim/cpu/system.cc" "src/CMakeFiles/archsim.dir/sim/cpu/system.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/cpu/system.cc.o.d"
+  "/root/repo/src/sim/dram/dram.cc" "src/CMakeFiles/archsim.dir/sim/dram/dram.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/dram/dram.cc.o.d"
+  "/root/repo/src/sim/power/power.cc" "src/CMakeFiles/archsim.dir/sim/power/power.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/power/power.cc.o.d"
+  "/root/repo/src/sim/study.cc" "src/CMakeFiles/archsim.dir/sim/study.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/study.cc.o.d"
+  "/root/repo/src/sim/thermal/thermal.cc" "src/CMakeFiles/archsim.dir/sim/thermal/thermal.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/thermal/thermal.cc.o.d"
+  "/root/repo/src/sim/workload/npb.cc" "src/CMakeFiles/archsim.dir/sim/workload/npb.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/workload/npb.cc.o.d"
+  "/root/repo/src/sim/workload/trace_file.cc" "src/CMakeFiles/archsim.dir/sim/workload/trace_file.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/workload/trace_file.cc.o.d"
+  "/root/repo/src/sim/workload/trace_gen.cc" "src/CMakeFiles/archsim.dir/sim/workload/trace_gen.cc.o" "gcc" "src/CMakeFiles/archsim.dir/sim/workload/trace_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cactid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archsim.dir/sim/cache/cache.cc.o"
+  "CMakeFiles/archsim.dir/sim/cache/cache.cc.o.d"
+  "CMakeFiles/archsim.dir/sim/cache/coherence.cc.o"
+  "CMakeFiles/archsim.dir/sim/cache/coherence.cc.o.d"
+  "CMakeFiles/archsim.dir/sim/cache/llc.cc.o"
+  "CMakeFiles/archsim.dir/sim/cache/llc.cc.o.d"
+  "CMakeFiles/archsim.dir/sim/cpu/core.cc.o"
+  "CMakeFiles/archsim.dir/sim/cpu/core.cc.o.d"
+  "CMakeFiles/archsim.dir/sim/cpu/system.cc.o"
+  "CMakeFiles/archsim.dir/sim/cpu/system.cc.o.d"
+  "CMakeFiles/archsim.dir/sim/dram/dram.cc.o"
+  "CMakeFiles/archsim.dir/sim/dram/dram.cc.o.d"
+  "CMakeFiles/archsim.dir/sim/power/power.cc.o"
+  "CMakeFiles/archsim.dir/sim/power/power.cc.o.d"
+  "CMakeFiles/archsim.dir/sim/study.cc.o"
+  "CMakeFiles/archsim.dir/sim/study.cc.o.d"
+  "CMakeFiles/archsim.dir/sim/thermal/thermal.cc.o"
+  "CMakeFiles/archsim.dir/sim/thermal/thermal.cc.o.d"
+  "CMakeFiles/archsim.dir/sim/workload/npb.cc.o"
+  "CMakeFiles/archsim.dir/sim/workload/npb.cc.o.d"
+  "CMakeFiles/archsim.dir/sim/workload/trace_file.cc.o"
+  "CMakeFiles/archsim.dir/sim/workload/trace_file.cc.o.d"
+  "CMakeFiles/archsim.dir/sim/workload/trace_gen.cc.o"
+  "CMakeFiles/archsim.dir/sim/workload/trace_gen.cc.o.d"
+  "libarchsim.a"
+  "libarchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/bank.cc" "src/CMakeFiles/cactid.dir/array/bank.cc.o" "gcc" "src/CMakeFiles/cactid.dir/array/bank.cc.o.d"
+  "/root/repo/src/array/htree.cc" "src/CMakeFiles/cactid.dir/array/htree.cc.o" "gcc" "src/CMakeFiles/cactid.dir/array/htree.cc.o.d"
+  "/root/repo/src/array/mat.cc" "src/CMakeFiles/cactid.dir/array/mat.cc.o" "gcc" "src/CMakeFiles/cactid.dir/array/mat.cc.o.d"
+  "/root/repo/src/array/partition.cc" "src/CMakeFiles/cactid.dir/array/partition.cc.o" "gcc" "src/CMakeFiles/cactid.dir/array/partition.cc.o.d"
+  "/root/repo/src/array/subarray.cc" "src/CMakeFiles/cactid.dir/array/subarray.cc.o" "gcc" "src/CMakeFiles/cactid.dir/array/subarray.cc.o.d"
+  "/root/repo/src/circuit/bitline.cc" "src/CMakeFiles/cactid.dir/circuit/bitline.cc.o" "gcc" "src/CMakeFiles/cactid.dir/circuit/bitline.cc.o.d"
+  "/root/repo/src/circuit/comparator.cc" "src/CMakeFiles/cactid.dir/circuit/comparator.cc.o" "gcc" "src/CMakeFiles/cactid.dir/circuit/comparator.cc.o.d"
+  "/root/repo/src/circuit/decoder.cc" "src/CMakeFiles/cactid.dir/circuit/decoder.cc.o" "gcc" "src/CMakeFiles/cactid.dir/circuit/decoder.cc.o.d"
+  "/root/repo/src/circuit/delay.cc" "src/CMakeFiles/cactid.dir/circuit/delay.cc.o" "gcc" "src/CMakeFiles/cactid.dir/circuit/delay.cc.o.d"
+  "/root/repo/src/circuit/driver.cc" "src/CMakeFiles/cactid.dir/circuit/driver.cc.o" "gcc" "src/CMakeFiles/cactid.dir/circuit/driver.cc.o.d"
+  "/root/repo/src/circuit/gate_area.cc" "src/CMakeFiles/cactid.dir/circuit/gate_area.cc.o" "gcc" "src/CMakeFiles/cactid.dir/circuit/gate_area.cc.o.d"
+  "/root/repo/src/circuit/logic_gate.cc" "src/CMakeFiles/cactid.dir/circuit/logic_gate.cc.o" "gcc" "src/CMakeFiles/cactid.dir/circuit/logic_gate.cc.o.d"
+  "/root/repo/src/circuit/senseamp.cc" "src/CMakeFiles/cactid.dir/circuit/senseamp.cc.o" "gcc" "src/CMakeFiles/cactid.dir/circuit/senseamp.cc.o.d"
+  "/root/repo/src/core/cache_model.cc" "src/CMakeFiles/cactid.dir/core/cache_model.cc.o" "gcc" "src/CMakeFiles/cactid.dir/core/cache_model.cc.o.d"
+  "/root/repo/src/core/cacti.cc" "src/CMakeFiles/cactid.dir/core/cacti.cc.o" "gcc" "src/CMakeFiles/cactid.dir/core/cacti.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/cactid.dir/core/config.cc.o" "gcc" "src/CMakeFiles/cactid.dir/core/config.cc.o.d"
+  "/root/repo/src/core/crossbar.cc" "src/CMakeFiles/cactid.dir/core/crossbar.cc.o" "gcc" "src/CMakeFiles/cactid.dir/core/crossbar.cc.o.d"
+  "/root/repo/src/core/dram_chip.cc" "src/CMakeFiles/cactid.dir/core/dram_chip.cc.o" "gcc" "src/CMakeFiles/cactid.dir/core/dram_chip.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/cactid.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/cactid.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/result.cc" "src/CMakeFiles/cactid.dir/core/result.cc.o" "gcc" "src/CMakeFiles/cactid.dir/core/result.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/CMakeFiles/cactid.dir/core/solver.cc.o" "gcc" "src/CMakeFiles/cactid.dir/core/solver.cc.o.d"
+  "/root/repo/src/tech/cell.cc" "src/CMakeFiles/cactid.dir/tech/cell.cc.o" "gcc" "src/CMakeFiles/cactid.dir/tech/cell.cc.o.d"
+  "/root/repo/src/tech/device.cc" "src/CMakeFiles/cactid.dir/tech/device.cc.o" "gcc" "src/CMakeFiles/cactid.dir/tech/device.cc.o.d"
+  "/root/repo/src/tech/technology.cc" "src/CMakeFiles/cactid.dir/tech/technology.cc.o" "gcc" "src/CMakeFiles/cactid.dir/tech/technology.cc.o.d"
+  "/root/repo/src/tech/wire.cc" "src/CMakeFiles/cactid.dir/tech/wire.cc.o" "gcc" "src/CMakeFiles/cactid.dir/tech/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

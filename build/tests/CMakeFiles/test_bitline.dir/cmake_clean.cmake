@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitline.dir/test_bitline.cc.o"
+  "CMakeFiles/test_bitline.dir/test_bitline.cc.o.d"
+  "test_bitline"
+  "test_bitline.pdb"
+  "test_bitline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_technology.dir/test_cell_technology.cc.o"
+  "CMakeFiles/test_cell_technology.dir/test_cell_technology.cc.o.d"
+  "test_cell_technology"
+  "test_cell_technology.pdb"
+  "test_cell_technology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

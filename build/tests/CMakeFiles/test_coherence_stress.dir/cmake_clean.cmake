@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence_stress.dir/test_coherence_stress.cc.o"
+  "CMakeFiles/test_coherence_stress.dir/test_coherence_stress.cc.o.d"
+  "test_coherence_stress"
+  "test_coherence_stress.pdb"
+  "test_coherence_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

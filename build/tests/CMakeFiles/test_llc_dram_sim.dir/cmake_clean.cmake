@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llc_dram_sim.dir/test_llc_dram_sim.cc.o"
+  "CMakeFiles/test_llc_dram_sim.dir/test_llc_dram_sim.cc.o.d"
+  "test_llc_dram_sim"
+  "test_llc_dram_sim.pdb"
+  "test_llc_dram_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llc_dram_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

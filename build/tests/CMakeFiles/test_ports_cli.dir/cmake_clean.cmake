@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ports_cli.dir/test_ports_cli.cc.o"
+  "CMakeFiles/test_ports_cli.dir/test_ports_cli.cc.o.d"
+  "test_ports_cli"
+  "test_ports_cli.pdb"
+  "test_ports_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ports_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_thermal.dir/test_power_thermal.cc.o"
+  "CMakeFiles/test_power_thermal.dir/test_power_thermal.cc.o.d"
+  "test_power_thermal"
+  "test_power_thermal.pdb"
+  "test_power_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powerdown.dir/test_powerdown.cc.o"
+  "CMakeFiles/test_powerdown.dir/test_powerdown.cc.o.d"
+  "test_powerdown"
+  "test_powerdown.pdb"
+  "test_powerdown[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powerdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archsim_trace.dir/trace_tool_main.cc.o"
+  "CMakeFiles/archsim_trace.dir/trace_tool_main.cc.o.d"
+  "archsim-trace"
+  "archsim-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

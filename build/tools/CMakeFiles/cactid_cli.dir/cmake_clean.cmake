@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactid_cli.dir/cactid_main.cc.o"
+  "CMakeFiles/cactid_cli.dir/cactid_main.cc.o.d"
+  "cactid"
+  "cactid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cactid_tools.dir/config_parser.cc.o"
+  "CMakeFiles/cactid_tools.dir/config_parser.cc.o.d"
+  "libcactid_tools.a"
+  "libcactid_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cactid_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

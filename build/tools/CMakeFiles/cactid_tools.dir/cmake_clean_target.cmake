@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcactid_tools.a"
+)
