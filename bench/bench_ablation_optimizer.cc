@@ -32,10 +32,14 @@ void
 printSweep()
 {
     using namespace cactid;
+    // Streaming engine run: the sweep needs winners and prune counts,
+    // not the materialized solution space.
+    const SolverEngine engine(SolverOptions{0, false});
     std::printf("=== Ablation: optimizer constraints (16MB SRAM cache, "
                 "32nm) ===\n");
-    std::printf("%-30s %8s %9s %9s %8s\n", "constraints", "acc(ns)",
-                "area(mm2)", "rdE(nJ)", "leak(W)");
+    std::printf("%-30s %8s %9s %9s %8s %7s %7s\n", "constraints",
+                "acc(ns)", "area(mm2)", "rdE(nJ)", "leak(W)", "pruned",
+                "kept");
     for (double area_c : {0.10, 0.40, 1.00}) {
         for (double time_c : {0.05, 0.30, 1.00}) {
             for (double rep : {1.0, 3.0}) {
@@ -46,12 +50,17 @@ printSweep()
                 // Energy-weighted objective: the constraint windows
                 // then bound how much delay may be traded away.
                 c.weights = {1.0, 1.0, 0.0, 0.0, 0.0, 0.0};
-                const Solution s = solve(c).best;
+                const SolveResult r = engine.run(c);
+                const Solution &s = r.best;
                 std::printf("area+%.0f%% time+%.0f%% rep %.0fx      "
-                            "%8.3f %9.2f %9.3f %8.3f\n",
+                            "%8.3f %9.2f %9.3f %8.3f %7llu %7zu\n",
                             area_c * 100, time_c * 100, rep,
                             s.accessTime * 1e9, s.totalArea * 1e6,
-                            s.readEnergy * 1e9, s.leakage);
+                            s.readEnergy * 1e9, s.leakage,
+                            static_cast<unsigned long long>(
+                                r.stats.areaPruned +
+                                r.stats.timePruned),
+                            r.filtered.size());
             }
         }
     }
@@ -66,6 +75,24 @@ BM_SolveSramCache(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SolveSramCache)->Unit(benchmark::kMillisecond);
+
+void
+BM_SolveSramCacheJobs(benchmark::State &state)
+{
+    const cactid::MemoryConfig c = baseConfig();
+    const cactid::SolverOptions opts{
+        static_cast<int>(state.range(0)), false};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cactid::solve(c, opts).best.accessTime);
+    }
+}
+BENCHMARK(BM_SolveSramCacheJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_SolveDramChip(benchmark::State &state)

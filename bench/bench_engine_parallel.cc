@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Parallel-speedup benchmark for the SolverEngine: runs the Table-3
+ * projection sweep (L2, the five L3 options, the 8Gb main-memory chip,
+ * all at 32 nm) serially and with a worker pool, verifies the results
+ * are bit-identical, and prints the wall-clock speedup per job count.
+ *
+ * Usage: bench_engine_parallel [max_jobs]   (default 8)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/cacti.hh"
+
+namespace {
+
+using namespace cactid;
+
+MemoryConfig
+l3Config(const char *, double capacity, int assoc, RamCellTech tech,
+         bool ed)
+{
+    MemoryConfig c;
+    c.capacityBytes = capacity;
+    c.blockBytes = 64;
+    c.associativity = assoc;
+    c.nBanks = 8;
+    c.type = MemoryType::Cache;
+    c.accessMode = AccessMode::Sequential;
+    c.featureNm = 32.0;
+    c.dataCellTech = tech;
+    c.tagCellTech = tech;
+    c.sleepTransistors = tech == RamCellTech::Sram;
+    if (ed) {
+        c.maxAreaConstraint = 0.60;
+        c.maxAccTimeConstraint = 0.60;
+        c.weights = {2.0, 2.0, 2.0, 2.0, 1.0, 0.0};
+    } else {
+        c.maxAreaConstraint = 0.15;
+        c.maxAccTimeConstraint = 2.00;
+        c.weights = {1.0, 2.0, 0.5, 0.5, 0.0, 2.0};
+    }
+    return c;
+}
+
+std::vector<std::pair<std::string, MemoryConfig>>
+table3Sweep()
+{
+    std::vector<std::pair<std::string, MemoryConfig>> sweep;
+
+    MemoryConfig l2;
+    l2.capacityBytes = 1 << 20;
+    l2.blockBytes = 64;
+    l2.associativity = 8;
+    l2.type = MemoryType::Cache;
+    l2.accessMode = AccessMode::Fast;
+    l2.featureNm = 32.0;
+    l2.sleepTransistors = true;
+    l2.maxAccTimeConstraint = 0.15;
+    sweep.emplace_back("L2 1MB SRAM", l2);
+
+    sweep.emplace_back("L3 24MB SRAM",
+                       l3Config("sram", 24.0 * (1 << 20), 12,
+                                RamCellTech::Sram, true));
+    sweep.emplace_back("L3 48MB LP-DRAM ED",
+                       l3Config("lp_ed", 48.0 * (1 << 20), 12,
+                                RamCellTech::LpDram, true));
+    sweep.emplace_back("L3 72MB LP-DRAM C",
+                       l3Config("lp_c", 72.0 * (1 << 20), 18,
+                                RamCellTech::LpDram, false));
+    sweep.emplace_back("L3 96MB CM-DRAM ED",
+                       l3Config("cm_ed", 96.0 * (1 << 20), 12,
+                                RamCellTech::CommDram, true));
+    sweep.emplace_back("L3 192MB CM-DRAM C",
+                       l3Config("cm_c", 192.0 * (1 << 20), 24,
+                                RamCellTech::CommDram, false));
+
+    MemoryConfig mm;
+    mm.capacityBytes = 8192.0 * 1024.0 * 1024.0 / 8.0; // 8 Gb
+    mm.blockBytes = 8;
+    mm.type = MemoryType::MainMemoryChip;
+    mm.nBanks = 8;
+    mm.featureNm = 32.0;
+    mm.dataCellTech = RamCellTech::CommDram;
+    mm.pageBytes = 1024;
+    mm.maxAreaConstraint = 0.10;
+    mm.maxAccTimeConstraint = 1.00;
+    mm.weights = {1.0, 0.0, 1.0, 0.0, 0.0, 4.0};
+    sweep.emplace_back("MM 8Gb DDR chip", mm);
+
+    return sweep;
+}
+
+/** Solve the whole sweep; returns wall seconds and the best picks. */
+double
+runSweep(const std::vector<std::pair<std::string, MemoryConfig>> &sweep,
+         int jobs, std::vector<Solution> &bests)
+{
+    // Streaming mode: the sweep only needs the winners.
+    const SolverOptions opts{jobs, false};
+    bests.clear();
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto &[name, cfg] : sweep)
+        bests.push_back(solve(cfg, opts).best);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int max_jobs = argc > 1 ? std::atoi(argv[1]) : 8;
+    const auto sweep = table3Sweep();
+
+    std::printf("=== SolverEngine parallel speedup: Table-3 projection "
+                "sweep (%zu solves, 32 nm) ===\n", sweep.size());
+    std::printf("hardware concurrency: %d\n",
+                cactid::SolverEngine::resolveJobs(0));
+
+    std::vector<cactid::Solution> serial_best;
+    const double t1 = runSweep(sweep, 1, serial_best);
+    std::printf("%6s %10s %9s\n", "jobs", "wall(s)", "speedup");
+    std::printf("%6d %10.3f %9.2fx\n", 1, t1, 1.0);
+
+    bool identical = true;
+    for (int jobs = 2; jobs <= max_jobs; jobs *= 2) {
+        std::vector<cactid::Solution> best;
+        const double tn = runSweep(sweep, jobs, best);
+        for (std::size_t i = 0; i < best.size(); ++i) {
+            identical = identical &&
+                        best[i].accessTime ==
+                            serial_best[i].accessTime &&
+                        best[i].totalArea == serial_best[i].totalArea &&
+                        best[i].readEnergy == serial_best[i].readEnergy;
+        }
+        std::printf("%6d %10.3f %9.2fx\n", jobs, tn, t1 / tn);
+    }
+    std::printf("parallel results bit-identical to serial: %s\n",
+                identical ? "yes" : "NO");
+    return identical ? 0 : 1;
+}

@@ -9,11 +9,11 @@
 
 namespace cactid {
 
-std::vector<Partition>
-enumeratePartitions(double size_bits, int output_bits, RamCellTech tech,
-                    const PartitionLimits &limits)
+void
+forEachPartition(double size_bits, int output_bits, RamCellTech tech,
+                 const PartitionLimits &limits,
+                 const PartitionVisitor &visit)
 {
-    std::vector<Partition> out;
     for (int rows = limits.minRows; rows <= limits.maxRows; rows *= 2) {
         for (int cols = limits.minCols; cols <= limits.maxCols;
              cols *= 2) {
@@ -46,11 +46,20 @@ enumeratePartitions(double size_bits, int output_bits, RamCellTech tech,
                     // single mat (the excess would be discarded).
                     if (per_mat > 2 * output_bits)
                         continue;
-                    out.push_back(p);
+                    visit(p);
                 }
             }
         }
     }
+}
+
+std::vector<Partition>
+enumeratePartitions(double size_bits, int output_bits, RamCellTech tech,
+                    const PartitionLimits &limits)
+{
+    std::vector<Partition> out;
+    forEachPartition(size_bits, output_bits, tech, limits,
+                     [&out](const Partition &p) { out.push_back(p); });
     return out;
 }
 

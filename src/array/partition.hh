@@ -15,6 +15,7 @@
 #define CACTID_ARRAY_PARTITION_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "tech/cell.hh"
@@ -46,15 +47,27 @@ struct PartitionLimits {
     int maxSamMux = 64;
 };
 
+/** Callback receiving each structurally valid partition in turn. */
+using PartitionVisitor = std::function<void(const Partition &)>;
+
 /**
- * Enumerate all structurally valid partitions of a bank.
+ * Visit all structurally valid partitions of a bank in a fixed,
+ * deterministic order (rows, then cols, then blMux, then samMux, each
+ * ascending).  Candidates stream to @p visit one at a time, so callers
+ * can evaluate or prune them without materializing the whole space.
  *
  * @param size_bits   bits stored in the bank
  * @param output_bits bits delivered per access
  * @param tech        cell technology (DRAM forces blMux == 1: the whole
  *                    page is sensed)
  * @param limits      enumeration bounds
+ * @param visit       called once per valid partition
  */
+void forEachPartition(double size_bits, int output_bits,
+                      RamCellTech tech, const PartitionLimits &limits,
+                      const PartitionVisitor &visit);
+
+/** Convenience wrapper: collect the forEachPartition stream. */
 std::vector<Partition> enumeratePartitions(double size_bits,
                                            int output_bits,
                                            RamCellTech tech,

@@ -1,6 +1,6 @@
 /**
  * @file
- * CACTI-D entry point implementation.
+ * CACTI-D entry point implementation: thin wrappers over SolverEngine.
  */
 
 #include "core/cacti.hh"
@@ -8,16 +8,29 @@
 namespace cactid {
 
 SolveResult
+solve(const Technology &t, const MemoryConfig &cfg,
+      const SolverOptions &opts, EngineStats *stats)
+{
+    return SolverEngine(opts).run(t, cfg, stats);
+}
+
+SolveResult
+solve(const MemoryConfig &cfg, const SolverOptions &opts,
+      EngineStats *stats)
+{
+    return SolverEngine(opts).run(cfg, stats);
+}
+
+SolveResult
 solve(const Technology &t, const MemoryConfig &cfg)
 {
-    return optimize(cfg, enumerateSolutions(t, cfg));
+    return solve(t, cfg, SolverOptions{});
 }
 
 SolveResult
 solve(const MemoryConfig &cfg)
 {
-    const Technology t(cfg.featureNm, cfg.temperatureK);
-    return solve(t, cfg);
+    return solve(cfg, SolverOptions{});
 }
 
 } // namespace cactid

@@ -20,6 +20,7 @@
 
 #include "core/config.hh"
 #include "core/crossbar.hh"
+#include "core/engine.hh"
 #include "core/optimizer.hh"
 #include "core/result.hh"
 #include "core/solver.hh"
@@ -30,11 +31,22 @@ namespace cactid {
 /**
  * Solve @p cfg: enumerate the organization space, apply the section-2.4
  * optimization, and return the chosen solution plus the explored space.
+ * All overloads run on the SolverEngine; the plain forms use the
+ * default options (jobs = hardware concurrency, collect everything).
  */
 SolveResult solve(const MemoryConfig &cfg);
 
 /** Solve against an explicitly constructed technology. */
 SolveResult solve(const Technology &t, const MemoryConfig &cfg);
+
+/** Solve with explicit engine options (thread count, streaming). */
+SolveResult solve(const MemoryConfig &cfg, const SolverOptions &opts,
+                  EngineStats *stats = nullptr);
+
+/** Solve with explicit technology and engine options. */
+SolveResult solve(const Technology &t, const MemoryConfig &cfg,
+                  const SolverOptions &opts,
+                  EngineStats *stats = nullptr);
 
 } // namespace cactid
 

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * SolverEngine implementation.
+ */
+
+#include "core/engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/optimizer.hh"
+#include "core/solver.hh"
+
+namespace cactid {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Order-preserving streaming accumulator.  Folding in enumeration
+ * order with an incremental max-area prune yields exactly the same
+ * survivor set, in the same order, as filtering the fully materialized
+ * space: a solution evicted against the running best area can never
+ * pass the final area filter, whose threshold only shrinks.
+ */
+class StreamingFold {
+public:
+    StreamingFold(const MemoryConfig &cfg, bool collect_all,
+                  EngineStats &st, SolveResult &res)
+        : slack_(1.0 + cfg.maxAreaConstraint), collectAll_(collect_all),
+          st_(st), res_(res)
+    {
+    }
+
+    void
+    operator()(Solution &&s)
+    {
+        ++st_.solutionsBuilt;
+        if (collectAll_)
+            res_.all.push_back(s);
+        if (s.totalArea < bestArea_) {
+            bestArea_ = s.totalArea;
+            const double limit = bestArea_ * slack_;
+            st_.areaPruned +=
+                std::erase_if(live_, [limit](const Solution &q) {
+                    return !(q.totalArea <= limit);
+                });
+        }
+        if (s.totalArea <= bestArea_ * slack_)
+            live_.push_back(std::move(s));
+        else
+            ++st_.areaPruned;
+        st_.peakLiveSolutions =
+            std::max(st_.peakLiveSolutions, live_.size());
+    }
+
+    std::vector<Solution> take() { return std::move(live_); }
+
+private:
+    const double slack_;
+    const bool collectAll_;
+    EngineStats &st_;
+    SolveResult &res_;
+    std::vector<Solution> live_;
+    double bestArea_ = std::numeric_limits<double>::infinity();
+};
+
+} // namespace
+
+int
+SolverEngine::resolveJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SolveResult
+SolverEngine::run(const Technology &t, const MemoryConfig &cfg,
+                  EngineStats *stats) const
+{
+    const auto t_total = Clock::now();
+
+    SolveResult res;
+    EngineStats &st = res.stats;
+    st.jobsUsed = resolveJobs(opts_.jobs);
+
+    // --- Stage 1: setup + candidate enumeration (streamed, but the
+    // Partition index is tiny and must exist before the fan-out so the
+    // merge has a deterministic order to follow).
+    const auto t_setup = Clock::now();
+    const CandidateEvaluator eval(t, cfg);
+    std::vector<Partition> candidates;
+    forEachPartition(eval.spec().sizeBits, eval.spec().outputBits,
+                     eval.spec().tech, PartitionLimits{},
+                     [&](const Partition &p) {
+                         candidates.push_back(p);
+                     });
+    st.partitionsEnumerated = candidates.size();
+    st.setupSeconds = secondsSince(t_setup);
+
+    // --- Stage 2+3: evaluate candidates (possibly in parallel) and
+    // fold the results in enumeration order.
+    const auto t_eval = Clock::now();
+    StreamingFold fold(cfg, opts_.collectAll, st, res);
+
+    const int jobs = static_cast<int>(
+        std::min(static_cast<std::size_t>(st.jobsUsed),
+                 std::max<std::size_t>(candidates.size(), 1)));
+    if (jobs <= 1) {
+        for (const Partition &p : candidates) {
+            if (auto s = eval(p))
+                fold(std::move(*s));
+            else
+                ++st.partitionsInfeasible;
+        }
+    } else {
+        const std::size_t n = candidates.size();
+        std::vector<std::optional<Solution>> slots(n);
+        std::vector<char> done(n, 0);
+        std::mutex mtx;
+        std::condition_variable cv;
+        std::atomic<std::size_t> next{0};
+
+        auto worker = [&] {
+            for (std::size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1)) {
+                std::optional<Solution> s = eval(candidates[i]);
+                {
+                    const std::lock_guard<std::mutex> lock(mtx);
+                    slots[i] = std::move(s);
+                    done[i] = 1;
+                }
+                cv.notify_one();
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (int w = 0; w < jobs; ++w)
+            pool.emplace_back(worker);
+
+        // The merge consumes slot i only once evaluated, in index
+        // order; workers run ahead while earlier slots are folded.
+        for (std::size_t i = 0; i < n; ++i) {
+            std::optional<Solution> s;
+            {
+                std::unique_lock<std::mutex> lock(mtx);
+                cv.wait(lock, [&] { return done[i] != 0; });
+                s = std::move(slots[i]);
+                slots[i].reset();
+            }
+            if (s)
+                fold(std::move(*s));
+            else
+                ++st.partitionsInfeasible;
+        }
+        for (std::thread &th : pool)
+            th.join();
+    }
+    st.evaluateSeconds = secondsSince(t_eval);
+
+    if (st.solutionsBuilt == 0)
+        throw std::runtime_error(
+            "no feasible solutions for " + cfg.summary());
+
+    // --- Stage 4: constraint passes + objective.  The streaming fold
+    // already applied the final max-area criterion (its running best
+    // converges to the true best), so only the access-time pass and
+    // the objective remain.
+    const auto t_filter = Clock::now();
+    std::vector<Solution> live = fold.take();
+    st.timePruned = filterByAccessTime(live, cfg.maxAccTimeConstraint);
+    res.best = selectBest(live, cfg.weights);
+    res.filtered = std::move(live);
+    st.filterSeconds = secondsSince(t_filter);
+
+    st.totalSeconds = secondsSince(t_total);
+    if (stats)
+        *stats = st;
+    return res;
+}
+
+SolveResult
+SolverEngine::run(const MemoryConfig &cfg, EngineStats *stats) const
+{
+    const Technology t(cfg.featureNm, cfg.temperatureK);
+    return run(t, cfg, stats);
+}
+
+std::string
+EngineStats::report() const
+{
+    std::ostringstream os;
+    os.precision(4);
+    os << "engine: " << jobsUsed << " job(s)\n";
+    os << "partitions: " << partitionsEnumerated << " enumerated, "
+       << partitionsInfeasible << " infeasible, " << solutionsBuilt
+       << " solutions built\n";
+    os << "pruned: " << areaPruned << " by max-area, " << timePruned
+       << " by max-acctime ("
+       << solutionsBuilt - areaPruned - timePruned << " kept, peak "
+       << peakLiveSolutions << " live)\n";
+    os << "time: setup " << setupSeconds * 1e3 << " ms, evaluate "
+       << evaluateSeconds * 1e3 << " ms, filter "
+       << filterSeconds * 1e3 << " ms, total " << totalSeconds * 1e3
+       << " ms\n";
+    return os.str();
+}
+
+} // namespace cactid

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SolverEngine: the streaming, parallel, instrumented solve pipeline.
+ *
+ * The engine replaces the old enumerate-everything-then-filter path
+ * with a four-stage pipeline:
+ *
+ *   1. partition candidates stream from forEachPartition (no up-front
+ *      materialization of the solution space),
+ *   2. bank construction + solution combination fan out across a small
+ *      worker pool (SolverOptions::jobs),
+ *   3. results merge back in enumeration order, with an incremental
+ *      max-area prune bounding the live working set,
+ *   4. the composable optimizer passes pick the winner.
+ *
+ * Determinism guarantee: the merge folds candidate results in
+ * enumeration-index order and every per-candidate computation is
+ * independent, so a run with jobs=N produces bit-identical
+ * SolveResult::best and SolveResult::filtered to a run with jobs=1.
+ *
+ * The engine is stateless: one engine may solve many configs, from
+ * many threads, concurrently.
+ */
+
+#ifndef CACTID_CORE_ENGINE_HH
+#define CACTID_CORE_ENGINE_HH
+
+#include "core/config.hh"
+#include "core/engine_stats.hh"
+#include "core/result.hh"
+#include "tech/technology.hh"
+
+namespace cactid {
+
+/** Knobs controlling how a solve executes (not what it computes). */
+struct SolverOptions {
+    /**
+     * Worker threads for candidate evaluation; 0 means
+     * std::thread::hardware_concurrency(), 1 runs fully serial.
+     */
+    int jobs = 0;
+
+    /**
+     * Keep every feasible solution in SolveResult::all (design-space
+     * scatter plots).  When false the engine streams: only solutions
+     * that can still survive the max-area constraint stay live, which
+     * bounds peak memory on large sweeps.
+     */
+    bool collectAll = true;
+};
+
+/** The streaming, parallel, instrumented solve pipeline. */
+class SolverEngine {
+public:
+    explicit SolverEngine(SolverOptions opts = {}) : opts_(opts) {}
+
+    /**
+     * Solve @p cfg against @p t.  Statistics are always collected into
+     * the result's stats field; pass @p stats to also receive a copy
+     * (convenient when the result itself is discarded).
+     *
+     * @throws std::runtime_error when no candidate is feasible.
+     */
+    SolveResult run(const Technology &t, const MemoryConfig &cfg,
+                    EngineStats *stats = nullptr) const;
+
+    /** Construct the technology from the config, then run. */
+    SolveResult run(const MemoryConfig &cfg,
+                    EngineStats *stats = nullptr) const;
+
+    const SolverOptions &options() const { return opts_; }
+
+    /** Threads a given jobs setting resolves to on this machine. */
+    static int resolveJobs(int jobs);
+
+private:
+    SolverOptions opts_;
+};
+
+} // namespace cactid
+
+#endif // CACTID_CORE_ENGINE_HH

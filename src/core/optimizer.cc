@@ -13,12 +13,13 @@ namespace cactid {
 
 namespace {
 
+template <typename Metric>
 double
-minOf(const std::vector<Solution> &v, double Solution::*field)
+minOf(const std::vector<Solution> &v, Metric metric)
 {
     double m = std::numeric_limits<double>::infinity();
     for (const Solution &s : v)
-        m = std::min(m, s.*field);
+        m = std::min(m, metric(s));
     return m;
 }
 
@@ -33,6 +34,86 @@ term(double weight, double value, double best)
 
 } // namespace
 
+std::size_t
+filterByArea(std::vector<Solution> &sols, double slack)
+{
+    if (sols.empty())
+        return 0;
+    const double best =
+        minOf(sols, [](const Solution &s) { return s.totalArea; });
+    const double limit = best * (1.0 + slack);
+    return std::erase_if(sols, [limit](const Solution &s) {
+        return !(s.totalArea <= limit);
+    });
+}
+
+std::size_t
+filterByAccessTime(std::vector<Solution> &sols, double slack)
+{
+    if (sols.empty())
+        return 0;
+    const double best =
+        minOf(sols, [](const Solution &s) { return s.accessTime; });
+    const double limit = best * (1.0 + slack);
+    return std::erase_if(sols, [limit](const Solution &s) {
+        return !(s.accessTime <= limit);
+    });
+}
+
+ObjectiveScales
+objectiveScales(const std::vector<Solution> &sols)
+{
+    ObjectiveScales sc;
+    sc.readEnergy =
+        minOf(sols, [](const Solution &s) { return s.readEnergy; });
+    // Normalize static power over leakage + refresh so a DRAM solution
+    // paying refresh power is compared on the same scale it is scored
+    // on (normalizing by min leakage alone overweighted the term).
+    sc.staticPower = minOf(sols, [](const Solution &s) {
+        return s.leakage + s.refreshPower;
+    });
+    sc.randomCycle =
+        minOf(sols, [](const Solution &s) { return s.randomCycle; });
+    sc.interleaveCycle = minOf(
+        sols, [](const Solution &s) { return s.interleaveCycle; });
+    sc.accessTime =
+        minOf(sols, [](const Solution &s) { return s.accessTime; });
+    sc.totalArea =
+        minOf(sols, [](const Solution &s) { return s.totalArea; });
+    return sc;
+}
+
+double
+objectiveValue(const Solution &s, const OptimizationWeights &w,
+               const ObjectiveScales &sc)
+{
+    return term(w.dynamicEnergy, s.readEnergy, sc.readEnergy) +
+           term(w.leakage, s.leakage + s.refreshPower, sc.staticPower) +
+           term(w.randomCycle, s.randomCycle, sc.randomCycle) +
+           term(w.interleaveCycle, s.interleaveCycle,
+                sc.interleaveCycle) +
+           term(w.accessTime, s.accessTime, sc.accessTime) +
+           term(w.area, s.totalArea, sc.totalArea);
+}
+
+Solution
+selectBest(std::vector<Solution> &sols, const OptimizationWeights &w)
+{
+    if (sols.empty())
+        throw std::runtime_error("selectBest: empty solution set");
+    const ObjectiveScales sc = objectiveScales(sols);
+    double best_obj = std::numeric_limits<double>::infinity();
+    const Solution *best = nullptr;
+    for (Solution &s : sols) {
+        s.objective = objectiveValue(s, w, sc);
+        if (s.objective < best_obj) {
+            best_obj = s.objective;
+            best = &s;
+        }
+    }
+    return *best;
+}
+
 SolveResult
 optimize(const MemoryConfig &cfg, std::vector<Solution> all)
 {
@@ -42,47 +123,13 @@ optimize(const MemoryConfig &cfg, std::vector<Solution> all)
 
     SolveResult res;
     res.all = all;
+    res.stats.solutionsBuilt = all.size();
 
-    // --- Step 1: max area constraint.
-    const double best_area = minOf(all, &Solution::totalArea);
-    std::vector<Solution> pass;
-    for (const Solution &s : all) {
-        if (s.totalArea <= best_area * (1.0 + cfg.maxAreaConstraint))
-            pass.push_back(s);
-    }
-
-    // --- Step 2: max access time constraint within the area survivors.
-    const double best_time = minOf(pass, &Solution::accessTime);
-    std::vector<Solution> pass2;
-    for (const Solution &s : pass) {
-        if (s.accessTime <= best_time * (1.0 + cfg.maxAccTimeConstraint))
-            pass2.push_back(s);
-    }
-
-    // --- Step 3: normalized weighted objective.
-    const double e0 = minOf(pass2, &Solution::readEnergy);
-    const double l0 = minOf(pass2, &Solution::leakage);
-    const double rc0 = minOf(pass2, &Solution::randomCycle);
-    const double ic0 = minOf(pass2, &Solution::interleaveCycle);
-    const double at0 = minOf(pass2, &Solution::accessTime);
-    const double ar0 = minOf(pass2, &Solution::totalArea);
-
-    const OptimizationWeights &w = cfg.weights;
-    double best_obj = std::numeric_limits<double>::infinity();
-    for (Solution &s : pass2) {
-        s.objective = term(w.dynamicEnergy, s.readEnergy, e0) +
-                      term(w.leakage, s.leakage + s.refreshPower,
-                           l0 + 0.0) +
-                      term(w.randomCycle, s.randomCycle, rc0) +
-                      term(w.interleaveCycle, s.interleaveCycle, ic0) +
-                      term(w.accessTime, s.accessTime, at0) +
-                      term(w.area, s.totalArea, ar0);
-        if (s.objective < best_obj) {
-            best_obj = s.objective;
-            res.best = s;
-        }
-    }
-    res.filtered = std::move(pass2);
+    res.stats.areaPruned = filterByArea(all, cfg.maxAreaConstraint);
+    res.stats.timePruned =
+        filterByAccessTime(all, cfg.maxAccTimeConstraint);
+    res.best = selectBest(all, cfg.weights);
+    res.filtered = std::move(all);
     return res;
 }
 

@@ -11,6 +11,7 @@
 
 #include "array/bank.hh"
 #include "core/config.hh"
+#include "core/engine_stats.hh"
 
 namespace cactid {
 
@@ -61,8 +62,15 @@ struct SolveResult {
     Solution best;
     /** All feasible solutions that passed the constraint filters. */
     std::vector<Solution> filtered;
-    /** All feasible solutions (for design-space scatter plots). */
+    /**
+     * All feasible solutions (for design-space scatter plots).  Only
+     * populated when SolverOptions::collectAll is set (the default for
+     * the plain solve() wrappers); a streaming engine run leaves it
+     * empty and retains only constraint survivors.
+     */
     std::vector<Solution> all;
+    /** How the solve went: counters and per-stage wall times. */
+    EngineStats stats;
 };
 
 } // namespace cactid

@@ -1,23 +1,19 @@
 /**
  * @file
- * Solution-space enumeration implementation.
+ * Candidate evaluation implementation.
  */
 
 #include "core/solver.hh"
 
 #include <algorithm>
-#include <optional>
 
-#include "core/cache_model.hh"
 #include "core/dram_chip.hh"
 
 namespace cactid {
 
-std::vector<Solution>
-enumerateSolutions(const Technology &t, const MemoryConfig &cfg)
+BankSpec
+makeBankSpec(const MemoryConfig &cfg)
 {
-    cfg.validate();
-
     BankSpec spec;
     spec.sizeBits = cfg.bankBits();
     spec.outputBits = cfg.dataOutputBits();
@@ -34,26 +30,42 @@ enumerateSolutions(const Technology &t, const MemoryConfig &cfg)
         spec.ioDelay = cfg.ioDelay;
         spec.ioEnergyPerBit = cfg.ioEnergyPerBit;
     }
+    return spec;
+}
 
-    std::optional<TagPath> tag;
+CandidateEvaluator::CandidateEvaluator(const Technology &t,
+                                       const MemoryConfig &cfg)
+    : t_(t), cfg_(cfg)
+{
+    cfg.validate();
+    spec_ = makeBankSpec(cfg);
     if (cfg.type == MemoryType::Cache)
-        tag = solveTagPath(t, cfg);
+        tag_ = solveTagPath(t, cfg);
+}
 
-    const PartitionLimits limits;
-    const auto partitions = enumeratePartitions(
-        spec.sizeBits, spec.outputBits, spec.tech, limits);
+std::optional<Solution>
+CandidateEvaluator::operator()(const Partition &p) const
+{
+    const BankMetrics bank = buildBank(t_, spec_, p);
+    if (!bank.feasible)
+        return std::nullopt;
+    Solution s = combineSolution(t_, cfg_, bank, tag_);
+    if (cfg_.type == MemoryType::MainMemoryChip)
+        addChipLevel(t_, cfg_, s);
+    return s;
+}
 
+std::vector<Solution>
+enumerateSolutions(const Technology &t, const MemoryConfig &cfg)
+{
+    const CandidateEvaluator eval(t, cfg);
     std::vector<Solution> out;
-    out.reserve(partitions.size());
-    for (const Partition &p : partitions) {
-        const BankMetrics bank = buildBank(t, spec, p);
-        if (!bank.feasible)
-            continue;
-        Solution s = combineSolution(t, cfg, bank, tag);
-        if (cfg.type == MemoryType::MainMemoryChip)
-            addChipLevel(t, cfg, s);
-        out.push_back(std::move(s));
-    }
+    forEachPartition(eval.spec().sizeBits, eval.spec().outputBits,
+                     eval.spec().tech, PartitionLimits{},
+                     [&](const Partition &p) {
+                         if (auto s = eval(p))
+                             out.push_back(std::move(*s));
+                     });
     return out;
 }
 

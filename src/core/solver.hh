@@ -1,19 +1,55 @@
 /**
  * @file
- * Solution-space enumeration: builds every feasible array organization
- * for a MemoryConfig.
+ * Candidate evaluation: turns one partition of the organization space
+ * into a complete Solution for a MemoryConfig.  The SolverEngine fans
+ * these evaluations out across worker threads; enumerateSolutions() is
+ * the serial collect-everything convenience wrapper.
  */
 
 #ifndef CACTID_CORE_SOLVER_HH
 #define CACTID_CORE_SOLVER_HH
 
+#include <optional>
 #include <vector>
 
+#include "array/bank.hh"
+#include "array/partition.hh"
+#include "core/cache_model.hh"
 #include "core/config.hh"
 #include "core/result.hh"
 #include "tech/technology.hh"
 
 namespace cactid {
+
+/** Derive the data-bank build specification from a config. */
+BankSpec makeBankSpec(const MemoryConfig &cfg);
+
+/**
+ * Per-config evaluation kernel: validates the config once, solves the
+ * tag path once (caches), and then maps candidate partitions to
+ * complete solutions.  operator() is const and touches no shared
+ * mutable state, so one evaluator may be called concurrently from many
+ * threads.
+ */
+class CandidateEvaluator {
+public:
+    CandidateEvaluator(const Technology &t, const MemoryConfig &cfg);
+
+    /**
+     * Evaluate one candidate: build the bank, combine with the tag
+     * path, and add chip-level effects for main-memory parts.  Returns
+     * nullopt when the bank is infeasible.
+     */
+    std::optional<Solution> operator()(const Partition &p) const;
+
+    const BankSpec &spec() const { return spec_; }
+
+private:
+    const Technology &t_;
+    const MemoryConfig &cfg_;
+    BankSpec spec_;
+    std::optional<TagPath> tag_;
+};
 
 /**
  * Enumerate every feasible complete solution for @p cfg.  For caches the

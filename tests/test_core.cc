@@ -4,6 +4,8 @@
  * modes, optimizer filters and weights, DRAM chip model, crossbar.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "core/cacti.hh"
@@ -224,6 +226,133 @@ TEST(Optimizer, EmptySolutionSpaceThrows)
 {
     const MemoryConfig c = cacheConfig(1 << 20);
     EXPECT_THROW(optimize(c, {}), std::runtime_error);
+}
+
+/** Synthetic solution with just the optimizer-visible metrics set. */
+Solution
+syntheticSolution(double area, double acctime, double energy,
+                  double leak, double refresh = 0.0)
+{
+    Solution s;
+    s.totalArea = area;
+    s.accessTime = acctime;
+    s.readEnergy = energy;
+    s.leakage = leak;
+    s.refreshPower = refresh;
+    return s;
+}
+
+TEST(Optimizer, AreaPassKeepsExactBoundary)
+{
+    // slack 0.5: limit is exactly 1.5; the boundary solution stays
+    // (<= semantics), 1.5 + epsilon goes.
+    std::vector<Solution> v = {
+        syntheticSolution(1.0, 1.0, 1.0, 1.0),
+        syntheticSolution(1.5, 1.0, 1.0, 1.0),
+        syntheticSolution(std::nextafter(1.5, 2.0), 1.0, 1.0, 1.0),
+    };
+    EXPECT_EQ(filterByArea(v, 0.5), 1u);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[1].totalArea, 1.5);
+}
+
+TEST(Optimizer, AccessTimePassKeepsExactBoundary)
+{
+    std::vector<Solution> v = {
+        syntheticSolution(1.0, 2.0, 1.0, 1.0),
+        syntheticSolution(1.0, 2.2, 1.0, 1.0),
+        syntheticSolution(1.0, std::nextafter(2.2, 3.0), 1.0, 1.0),
+    };
+    EXPECT_EQ(filterByAccessTime(v, 0.1), 1u);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[1].accessTime, 2.2);
+}
+
+TEST(Optimizer, FilterPassesOnEmptyInputAreNoOps)
+{
+    std::vector<Solution> v;
+    EXPECT_EQ(filterByArea(v, 0.4), 0u);
+    EXPECT_EQ(filterByAccessTime(v, 0.1), 0u);
+}
+
+TEST(Optimizer, SingleSolutionInputSurvivesEverything)
+{
+    MemoryConfig c = cacheConfig(1 << 20);
+    c.maxAreaConstraint = 0.0; // tightest possible constraints
+    c.maxAccTimeConstraint = 0.0;
+    const Solution only = syntheticSolution(2.0, 3.0, 4.0, 5.0, 1.0);
+    const SolveResult r = optimize(c, {only});
+    ASSERT_EQ(r.filtered.size(), 1u);
+    EXPECT_EQ(r.best.totalArea, 2.0);
+    EXPECT_EQ(r.stats.areaPruned, 0u);
+    EXPECT_EQ(r.stats.timePruned, 0u);
+}
+
+TEST(Optimizer, AllZeroWeightsPicksFirstSurvivor)
+{
+    MemoryConfig c = cacheConfig(1 << 20);
+    c.maxAreaConstraint = 10.0;
+    c.maxAccTimeConstraint = 10.0;
+    c.weights = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+    std::vector<Solution> v = {
+        syntheticSolution(2.0, 1.0, 9.0, 9.0),
+        syntheticSolution(1.0, 2.0, 1.0, 1.0),
+    };
+    const SolveResult r = optimize(c, v);
+    ASSERT_EQ(r.filtered.size(), 2u);
+    for (const Solution &s : r.filtered)
+        EXPECT_EQ(s.objective, 0.0);
+    // Every objective is 0, so enumeration order breaks the tie.
+    EXPECT_EQ(r.best.totalArea, 2.0);
+}
+
+TEST(Optimizer, ObjectiveScalesNormalizeStaticPowerWithRefresh)
+{
+    const std::vector<Solution> v = {
+        syntheticSolution(1.0, 1.0, 1.0, 1.0, 1.0),  // static 2.0
+        syntheticSolution(1.0, 1.0, 1.8, 0.5, 1.0),  // static 1.5
+    };
+    const ObjectiveScales sc = objectiveScales(v);
+    EXPECT_DOUBLE_EQ(sc.staticPower, 1.5); // min(leak + refresh)
+    EXPECT_DOUBLE_EQ(sc.readEnergy, 1.0);
+}
+
+/**
+ * Regression for the leakage-normalization bug: the objective used to
+ * score leakage + refresh against the minimum of leakage alone, which
+ * overweighted the static-power term for DRAM solutions.  With the
+ * weights below, solution A (low energy, higher static power) is the
+ * correct winner once static power is normalized consistently, while
+ * the buggy normalization picked B.
+ */
+TEST(Optimizer, LeakageNormalizationCountsRefreshPower)
+{
+    MemoryConfig c = cacheConfig(1 << 20);
+    c.maxAreaConstraint = 10.0;
+    c.maxAccTimeConstraint = 10.0;
+    c.weights = {1.0, 1.0, 0.0, 0.0, 0.0, 0.0};
+    const Solution a = syntheticSolution(1.0, 1.0, 1.0, 1.0, 1.0);
+    const Solution b = syntheticSolution(1.0, 1.0, 1.8, 0.5, 1.0);
+    const SolveResult r = optimize(c, {a, b});
+    // A: 1/1 + 2.0/1.5 = 2.33; B: 1.8/1 + 1.5/1.5 = 2.8.  The old
+    // normalization (min leakage = 0.5) gave A: 1 + 4 = 5, B: 1.8 + 3
+    // = 4.8 and mis-picked B.
+    EXPECT_DOUBLE_EQ(r.best.readEnergy, 1.0);
+}
+
+TEST(Optimizer, SelectBestAssignsObjectives)
+{
+    std::vector<Solution> v = {
+        syntheticSolution(1.0, 1.0, 2.0, 2.0),
+        syntheticSolution(1.0, 1.0, 1.0, 1.0),
+    };
+    OptimizationWeights w;
+    const Solution best = selectBest(v, w);
+    EXPECT_DOUBLE_EQ(best.readEnergy, 1.0);
+    for (const Solution &s : v)
+        EXPECT_GT(s.objective, 0.0);
+    std::vector<Solution> empty;
+    EXPECT_THROW(selectBest(empty, w), std::runtime_error);
 }
 
 // --- DRAM chip ----------------------------------------------------------------

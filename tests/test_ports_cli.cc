@@ -138,6 +138,27 @@ page_bytes = 1024
     c.validate();
 }
 
+TEST(ConfigParser, SolverOptionKeys)
+{
+    std::istringstream in(R"(
+size = 1M
+jobs = 4
+collect_all = false
+)");
+    SolverOptions opts;
+    const MemoryConfig c = tools::parseConfig(in, &opts);
+    EXPECT_DOUBLE_EQ(c.capacityBytes, 1024.0 * 1024.0);
+    EXPECT_EQ(opts.jobs, 4);
+    EXPECT_FALSE(opts.collectAll);
+}
+
+TEST(ConfigParser, SolverOptionKeysAcceptedWithoutOptionsOut)
+{
+    std::istringstream in("size = 1M\njobs = 8\n");
+    const MemoryConfig c = tools::parseConfig(in);
+    EXPECT_DOUBLE_EQ(c.capacityBytes, 1024.0 * 1024.0);
+}
+
 TEST(ConfigParser, RejectsUnknownKey)
 {
     std::istringstream in("bogus = 1\n");

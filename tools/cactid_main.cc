@@ -9,14 +9,18 @@
  *   cactid <config-file> --csv          CSV of the filtered solutions
  *   cactid <config-file> --sweep 1M,2M,4M
  *                                       re-solve per capacity, table out
+ *   cactid <config-file> --jobs 8       solver worker threads
+ *   cactid <config-file> --stats        engine instrumentation report
  *   cactid --help
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/cacti.hh"
@@ -35,13 +39,18 @@ printHelp()
         "  cactid <config-file> --csv        CSV of filtered solutions\n"
         "  cactid <config-file> --sweep A,B  capacity sweep (K/M/G "
         "suffixes)\n"
+        "  cactid <config-file> --jobs N     worker threads (0 = all "
+        "cores)\n"
+        "  cactid <config-file> --stats      print engine "
+        "instrumentation\n"
         "  cactid -                          read the config from "
         "stdin\n"
         "\n"
         "config keys: size block associativity banks type access_mode\n"
         "  technology tag_technology feature_nm temperature_k sleep_tx\n"
         "  ecc max_area max_acctime repeater_derate weight_* io_bits\n"
-        "  burst_length prefetch_width page_bytes address_bits\n");
+        "  burst_length prefetch_width page_bytes address_bits jobs\n"
+        "  collect_all\n");
 }
 
 void
@@ -64,7 +73,8 @@ printCsv(const cactid::SolveResult &res)
 }
 
 void
-printSweep(cactid::MemoryConfig cfg, const std::string &list)
+printSweep(cactid::MemoryConfig cfg, const std::string &list,
+           const cactid::SolverOptions &opts, bool stats)
 {
     std::printf("%-10s %9s %10s %10s %9s %9s\n", "capacity", "acc(ns)",
                 "area(mm2)", "rdE(nJ)", "leak(W)", "refresh(W)");
@@ -72,12 +82,73 @@ printSweep(cactid::MemoryConfig cfg, const std::string &list)
     std::string item;
     while (std::getline(ss, item, ',')) {
         cfg.capacityBytes = cactid::tools::parseCapacity(item);
-        const cactid::Solution s = cactid::solve(cfg).best;
+        const cactid::SolveResult res = cactid::solve(cfg, opts);
+        const cactid::Solution &s = res.best;
         std::printf("%-10s %9.3f %10.2f %10.3f %9.3f %9.4f\n",
                     item.c_str(), s.accessTime * 1e9,
                     s.totalArea * 1e6, s.readEnergy * 1e9, s.leakage,
                     s.refreshPower);
+        if (stats) {
+            std::printf("  [%llu enumerated, %llu kept, %.2f ms]\n",
+                        static_cast<unsigned long long>(
+                            res.stats.partitionsEnumerated),
+                        static_cast<unsigned long long>(
+                            res.filtered.size()),
+                        res.stats.totalSeconds * 1e3);
+        }
     }
+}
+
+struct CliArgs {
+    std::string configPath;
+    std::string sweep;
+    bool csv = false;
+    bool stats = false;
+    int jobs = -1; ///< -1: not given on the command line
+    bool help = false;
+    bool ok = true;
+};
+
+CliArgs
+parseArgs(int argc, char **argv)
+{
+    CliArgs a;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            a.help = true;
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            a.csv = true;
+        } else if (std::strcmp(arg, "--stats") == 0) {
+            a.stats = true;
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "cactid: --jobs needs a value\n");
+                a.ok = false;
+                return a;
+            }
+            a.jobs = std::atoi(argv[++i]);
+        } else if (std::strcmp(arg, "--sweep") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "cactid: --sweep needs a list\n");
+                a.ok = false;
+                return a;
+            }
+            a.sweep = argv[++i];
+        } else if (arg[0] == '-' && std::strcmp(arg, "-") != 0) {
+            std::fprintf(stderr, "cactid: unknown flag %s\n", arg);
+            a.ok = false;
+            return a;
+        } else if (a.configPath.empty()) {
+            a.configPath = arg;
+        } else {
+            std::fprintf(stderr, "cactid: extra argument %s\n", arg);
+            a.ok = false;
+            return a;
+        }
+    }
+    return a;
 }
 
 } // namespace
@@ -85,42 +156,54 @@ printSweep(cactid::MemoryConfig cfg, const std::string &list)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
-        std::strcmp(argv[1], "-h") == 0) {
+    const CliArgs args = parseArgs(argc, argv);
+    if (!args.ok)
+        return 1;
+    if (args.help || args.configPath.empty()) {
         printHelp();
-        return argc < 2 ? 1 : 0;
+        return args.help ? 0 : 1;
     }
 
     try {
         cactid::MemoryConfig cfg;
-        if (std::strcmp(argv[1], "-") == 0) {
-            cfg = cactid::tools::parseConfig(std::cin);
+        cactid::SolverOptions opts;
+        if (args.configPath == "-") {
+            cfg = cactid::tools::parseConfig(std::cin, &opts);
         } else {
-            std::ifstream f(argv[1]);
+            std::ifstream f(args.configPath);
             if (!f) {
                 std::fprintf(stderr, "cactid: cannot open %s\n",
-                             argv[1]);
+                             args.configPath.c_str());
                 return 1;
             }
-            cfg = cactid::tools::parseConfig(f);
+            cfg = cactid::tools::parseConfig(f, &opts);
         }
+        if (args.jobs >= 0) // command line overrides the config file
+            opts.jobs = args.jobs;
 
-        if (argc >= 4 && std::strcmp(argv[2], "--sweep") == 0) {
-            printSweep(cfg, argv[3]);
+        if (!args.sweep.empty()) {
+            printSweep(cfg, args.sweep, opts, args.stats);
             return 0;
         }
 
-        const cactid::SolveResult res = cactid::solve(cfg);
-        if (argc >= 3 && std::strcmp(argv[2], "--csv") == 0) {
+        const cactid::SolveResult res = cactid::solve(cfg, opts);
+        if (args.csv) {
             printCsv(res);
+            if (args.stats)
+                std::fprintf(stderr, "%s",
+                             res.stats.report().c_str());
             return 0;
         }
 
         std::printf("=== %s ===\n", cfg.summary().c_str());
         std::printf("%s", res.best.report().c_str());
-        std::printf("(%zu organizations explored, %zu passed the "
+        std::printf("(%llu organizations explored, %zu passed the "
                     "constraints)\n",
-                    res.all.size(), res.filtered.size());
+                    static_cast<unsigned long long>(
+                        res.stats.solutionsBuilt),
+                    res.filtered.size());
+        if (args.stats)
+            std::printf("%s", res.stats.report().c_str());
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "cactid: %s\n", e.what());

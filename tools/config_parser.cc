@@ -83,9 +83,11 @@ parseCapacity(const std::string &text)
 }
 
 MemoryConfig
-parseConfig(std::istream &in)
+parseConfig(std::istream &in, SolverOptions *opts)
 {
     MemoryConfig cfg;
+    SolverOptions discard;
+    SolverOptions &eng = opts ? *opts : discard;
     std::string line;
     int line_no = 0;
     while (std::getline(in, line)) {
@@ -185,6 +187,10 @@ parseConfig(std::istream &in)
             cfg.pageBytes = integer();
         } else if (key == "address_bits") {
             cfg.physicalAddressBits = integer();
+        } else if (key == "jobs") {
+            eng.jobs = integer();
+        } else if (key == "collect_all") {
+            eng.collectAll = parseBool(value, line_no);
         } else {
             throw std::invalid_argument("line " +
                                         std::to_string(line_no) +

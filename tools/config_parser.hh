@@ -11,11 +11,13 @@
 #include <string>
 
 #include "core/config.hh"
+#include "core/engine.hh"
 
 namespace cactid::tools {
 
 /**
- * Parse a configuration stream into a MemoryConfig.
+ * Parse a configuration stream into a MemoryConfig (and, optionally,
+ * engine options).
  *
  * Recognized keys (one `key = value` per line, `#` comments):
  *
@@ -37,10 +39,17 @@ namespace cactid::tools {
  *   weight_dynamic / weight_leakage / weight_cycle /
  *   weight_interleave / weight_acctime / weight_area
  *   io_bits, burst_length, prefetch_width, page_bytes  (main memory)
+ *   jobs              solver worker threads (0 = hardware concurrency)
+ *   collect_all       true | false (keep SolveResult::all)
+ *
+ * The engine keys (jobs, collect_all) land in @p opts when given; with
+ * opts == nullptr they are parsed and discarded, so a config written
+ * for the parallel engine still loads everywhere.
  *
  * @throws std::invalid_argument on unknown keys or malformed values.
  */
-MemoryConfig parseConfig(std::istream &in);
+MemoryConfig parseConfig(std::istream &in,
+                         SolverOptions *opts = nullptr);
 
 /** Parse a capacity string with optional K/M/G suffix ("24M"). */
 double parseCapacity(const std::string &text);
