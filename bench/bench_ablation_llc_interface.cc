@@ -6,11 +6,15 @@
  * its bank for the full random (destructive-readout) cycle -- the
  * behaviour an open-page cache with poor page locality degrades to,
  * since LLC request streams have near-zero page hit rates (section 3.4).
+ *
+ * Both sweeps run through the StudyRunner worker pool; the
+ * main-memory-like variant is expressed as a tweakHierarchy hook.
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "sim/study.hh"
+#include "sim/runner.hh"
 
 int
 main()
@@ -21,27 +25,34 @@ main()
     const std::string cfg = "cm_dram_c";
     const Projection &p = study.l3(cfg);
 
+    RunnerOptions base;
+    base.thermal = false;
+    base.instrPerThread = n;
+    base.configs = {cfg};
+    const std::vector<RunResult> a =
+        StudyRunner(study, base).runAll();
+
+    // Main-memory-like interface: no subbank interleaving; every
+    // access holds the bank for the full destructive-readout cycle.
+    RunnerOptions mm = base;
+    mm.tweakHierarchy = [&p](const std::string &,
+                             HierarchyParams &hp) {
+        hp.llc->nSubbanks = 1;
+        hp.llc->interleaveCycles = p.randomCycles;
+        hp.llc->randomCycles = p.randomCycles;
+    };
+    const std::vector<RunResult> b =
+        StudyRunner(study, mm).runAll();
+
     std::printf("=== Ablation: DRAM LLC operational model (%s) ===\n",
                 cfg.c_str());
     std::printf("%-6s %14s %14s %8s\n", "app", "interleaved-IPC",
                 "mm-like-IPC", "slowdown");
-    for (const WorkloadParams &w : study.workloads()) {
-        const SimStats a = study.run(cfg, w, n);
-
-        // Main-memory-like interface: no subbank interleaving; every
-        // access holds the bank for the full destructive-readout cycle.
-        HierarchyParams hp = study.hierarchyFor(cfg);
-        hp.llc->nSubbanks = 1;
-        hp.llc->interleaveCycles = p.randomCycles;
-        hp.llc->randomCycles = p.randomCycles;
-        WorkloadParams scaled = w;
-        scaled.hotBytes = w.hotBytes / 16.0;
-        scaled.wsBytes = w.wsBytes / 16.0;
-        System sys(hp, scaled, n);
-        const SimStats b = sys.run();
-
-        std::printf("%-6s %14.2f %14.2f %7.1f%%\n", w.name.c_str(),
-                    a.ipc, b.ipc, (a.ipc / b.ipc - 1.0) * 100.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        std::printf("%-6s %14.2f %14.2f %7.1f%%\n",
+                    a[i].workload.c_str(), a[i].stats.ipc,
+                    b[i].stats.ipc,
+                    (a[i].stats.ipc / b[i].stats.ipc - 1.0) * 100.0);
     }
     return 0;
 }

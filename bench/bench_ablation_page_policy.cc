@@ -3,28 +3,32 @@
  * Ablation (paper section 2.3.4): open-page vs closed-page main-memory
  * policy.  Streaming applications benefit from row-buffer hits under
  * the open-page policy; random-access applications prefer closed-page.
+ *
+ * Both sweeps run through the StudyRunner worker pool, using the
+ * tweakHierarchy hook to pin the page policy.
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "sim/study.hh"
+#include "sim/runner.hh"
 
 namespace {
 
-archsim::SimStats
-runWith(const archsim::Study &study, const std::string &cfg,
-        const archsim::WorkloadParams &w, archsim::PagePolicy policy,
-        std::uint64_t n)
+std::vector<archsim::RunResult>
+sweep(const archsim::Study &study, archsim::PagePolicy policy,
+      std::uint64_t n)
 {
     using namespace archsim;
-    WorkloadParams scaled = w;
-    HierarchyParams hp = study.hierarchyFor(cfg);
-    hp.dram.policy = policy;
-    // Apply the same footprint scaling Study::run uses.
-    scaled.hotBytes = w.hotBytes / 16.0;
-    scaled.wsBytes = w.wsBytes / 16.0;
-    System sys(hp, scaled, n);
-    return sys.run();
+    RunnerOptions opts;
+    opts.thermal = false;
+    opts.instrPerThread = n;
+    opts.configs = {"nol3"};
+    opts.tweakHierarchy = [policy](const std::string &,
+                                   HierarchyParams &hp) {
+        hp.dram.policy = policy;
+    };
+    return StudyRunner(study, opts).runAll();
 }
 
 } // namespace
@@ -36,23 +40,26 @@ main()
     Study study;
     const auto n = defaultInstrPerThread() / 2;
 
+    const std::vector<RunResult> open =
+        sweep(study, PagePolicy::Open, n);
+    const std::vector<RunResult> closed =
+        sweep(study, PagePolicy::Closed, n);
+
     std::printf("=== Ablation: main-memory page policy (no-L3 system) "
                 "===\n");
     std::printf("%-6s %10s %10s %10s %10s %9s\n", "app", "open-IPC",
                 "closed-IPC", "open-lat", "closed-lat", "rowhit%%");
-    for (const WorkloadParams &w : study.workloads()) {
-        const SimStats so = runWith(study, "nol3", w,
-                                    PagePolicy::Open, n);
-        const SimStats sc = runWith(study, "nol3", w,
-                                    PagePolicy::Closed, n);
+    for (std::size_t i = 0; i < open.size(); ++i) {
+        const SimStats &so = open[i].stats;
+        const SimStats &sc = closed[i].stats;
         const double row_hit =
             so.dram.rowHits + so.dram.activates
                 ? 100.0 * double(so.dram.rowHits) /
                       double(so.dram.rowHits + so.dram.activates)
                 : 0.0;
         std::printf("%-6s %10.2f %10.2f %10.1f %10.1f %8.1f%%\n",
-                    w.name.c_str(), so.ipc, sc.ipc, so.avgReadLatency,
-                    sc.avgReadLatency, row_hit);
+                    open[i].workload.c_str(), so.ipc, sc.ipc,
+                    so.avgReadLatency, sc.avgReadLatency, row_hit);
     }
     return 0;
 }

@@ -6,29 +6,33 @@
  * standby power with and without precharge power-down on the system
  * with the 192MB COMM-DRAM L3 (which filters most memory traffic and
  * therefore leaves the ranks idle the longest).
+ *
+ * Both sweeps run through the StudyRunner worker pool, using the
+ * tweakHierarchy hook to toggle power-down; the power breakdowns come
+ * straight from the RunResults.
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "sim/study.hh"
+#include "sim/runner.hh"
 
 namespace {
 
-archsim::SimStats
-runWith(const archsim::Study &study, const std::string &cfg,
-        const archsim::WorkloadParams &w, bool power_down,
-        std::uint64_t n)
+std::vector<archsim::RunResult>
+sweep(const archsim::Study &study, const std::string &cfg,
+      bool power_down, std::uint64_t n)
 {
     using namespace archsim;
-    HierarchyParams hp = study.hierarchyFor(cfg);
-    hp.dram.powerDown = power_down;
-    WorkloadParams scaled = w;
-    scaled.hotBytes = w.hotBytes / 16.0;
-    scaled.wsBytes = w.wsBytes / 16.0;
-    System sys(hp, scaled, n);
-    SimStats s = sys.run();
-    s.config = cfg;
-    return s;
+    RunnerOptions opts;
+    opts.thermal = false;
+    opts.instrPerThread = n;
+    opts.configs = {cfg};
+    opts.tweakHierarchy = [power_down](const std::string &,
+                                       HierarchyParams &hp) {
+        hp.dram.powerDown = power_down;
+    };
+    return StudyRunner(study, opts).runAll();
 }
 
 } // namespace
@@ -42,23 +46,23 @@ main()
 
     for (const std::string &cfg : {std::string("nol3"),
                                    std::string("cm_dram_c")}) {
+        const std::vector<RunResult> off = sweep(study, cfg, false, n);
+        const std::vector<RunResult> on = sweep(study, cfg, true, n);
         std::printf("=== DRAM power-down ablation (%s) ===\n",
                     cfg.c_str());
         std::printf("%-6s %8s %10s %10s %10s %8s\n", "app", "pd-frac",
                     "stby-on", "stby-off", "mh-saving", "slowdown");
-        for (const WorkloadParams &w : study.workloads()) {
-            const SimStats off = runWith(study, cfg, w, false, n);
-            const SimStats on = runWith(study, cfg, w, true, n);
-            const PowerParams pp = study.powerFor(cfg);
-            const PowerBreakdown b_off = computePower(pp, off);
-            const PowerBreakdown b_on = computePower(pp, on);
+        for (std::size_t i = 0; i < off.size(); ++i) {
+            const PowerBreakdown &b_off = off[i].power;
+            const PowerBreakdown &b_on = on[i].power;
             std::printf("%-6s %7.1f%% %9.2fW %9.2fW %9.2f%% %7.2f%%\n",
-                        w.name.c_str(),
-                        on.memPoweredDownFraction * 100.0,
+                        off[i].workload.c_str(),
+                        on[i].stats.memPoweredDownFraction * 100.0,
                         b_off.mainStandby, b_on.mainStandby,
                         (1.0 - b_on.memoryHierarchy() /
                                    b_off.memoryHierarchy()) * 100.0,
-                        (double(on.cycles) / double(off.cycles) - 1.0) *
+                        (double(on[i].stats.cycles) /
+                             double(off[i].stats.cycles) - 1.0) *
                             100.0);
         }
         std::printf("\n");

@@ -7,11 +7,44 @@
  * so an open-page policy is unattractive and the study uses the
  * SRAM-like interface instead.  This bench measures, rather than
  * assumes, that claim.
+ *
+ * Both sweeps run through the StudyRunner worker pool, using the
+ * tweakHierarchy hook to pin page mode and the mapping; the page-hit
+ * counters ride along in SimStats.
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "sim/study.hh"
+#include "sim/runner.hh"
+
+namespace {
+
+std::vector<archsim::RunResult>
+sweep(const archsim::Study &study, archsim::SetMapping mapping,
+      std::uint64_t n)
+{
+    using namespace archsim;
+    RunnerOptions opts;
+    opts.thermal = false;
+    opts.instrPerThread = n;
+    opts.configs = {"cm_dram_c"};
+    opts.tweakHierarchy = [mapping](const std::string &,
+                                    HierarchyParams &hp) {
+        hp.llc->pageMode = true;
+        hp.llc->mapping = mapping;
+    };
+    return StudyRunner(study, opts).runAll();
+}
+
+double
+pageHitPct(const archsim::SimStats &s)
+{
+    const double total = double(s.llcPageHits + s.llcPageMisses);
+    return total > 0 ? 100.0 * double(s.llcPageHits) / total : 0.0;
+}
+
+} // namespace
 
 int
 main()
@@ -20,41 +53,20 @@ main()
     Study study;
     const auto n = defaultInstrPerThread() / 3;
 
+    const std::vector<RunResult> a =
+        sweep(study, SetMapping::SetPerPage, n);
+    const std::vector<RunResult> b =
+        sweep(study, SetMapping::Striped, n);
+
     std::printf("=== Ablation: DRAM-LLC set-to-page mapping (cm_dram_c, "
                 "page mode) ===\n");
     std::printf("%-6s %16s %16s %14s\n", "app", "set/page hit%",
                 "striped hit%", "ipc(a / b)");
-    for (const WorkloadParams &w : study.workloads()) {
-        // Run both mappings; page hit counters live in the LLC.
-        HierarchyParams hp_a = study.hierarchyFor("cm_dram_c");
-        hp_a.llc->pageMode = true;
-        hp_a.llc->mapping = SetMapping::SetPerPage;
-        HierarchyParams hp_b = hp_a;
-        hp_b.llc->mapping = SetMapping::Striped;
-        WorkloadParams scaled = w;
-        scaled.hotBytes = w.hotBytes / 16.0;
-        scaled.wsBytes = w.wsBytes / 16.0;
-
-        System sys_a(hp_a, scaled, n);
-        const SimStats a = sys_a.run();
-        const Llc *llc_a = sys_a.hierarchy().llc();
-        const double ha =
-            llc_a->pageHits + llc_a->pageMisses
-                ? 100.0 * double(llc_a->pageHits) /
-                      double(llc_a->pageHits + llc_a->pageMisses)
-                : 0.0;
-
-        System sys_b(hp_b, scaled, n);
-        const SimStats b = sys_b.run();
-        const Llc *llc_b = sys_b.hierarchy().llc();
-        const double hb =
-            llc_b->pageHits + llc_b->pageMisses
-                ? 100.0 * double(llc_b->pageHits) /
-                      double(llc_b->pageHits + llc_b->pageMisses)
-                : 0.0;
-
+    for (std::size_t i = 0; i < a.size(); ++i) {
         std::printf("%-6s %15.1f%% %15.1f%% %7.2f/%5.2f\n",
-                    w.name.c_str(), ha, hb, a.ipc, b.ipc);
+                    a[i].workload.c_str(), pageHitPct(a[i].stats),
+                    pageHitPct(b[i].stats), a[i].stats.ipc,
+                    b[i].stats.ipc);
     }
     std::printf("\nexpected (section 3.4): low page hit ratios under "
                 "either mapping -- successive LLC requests rarely land "

@@ -3,38 +3,45 @@
  * Paper Figure 4(b): normalized execution-cycle breakdown (instruction /
  * L2 / L3 / memory / barrier / lock) per application and configuration,
  * with the total normalized to the no-L3 system.
+ *
+ * The sweep runs through the StudyRunner worker pool (all cores).
  */
 
 #include <cstdio>
 
-#include "sim/study.hh"
+#include "sim/runner.hh"
 
 int
 main()
 {
     using namespace archsim;
     Study study;
-    const auto n = defaultInstrPerThread();
+
+    RunnerOptions opts;
+    opts.thermal = false;
+    const StudyRunner runner(study, opts);
 
     std::printf("=== Figure 4(b): normalized execution cycle breakdown "
                 "===\n");
     std::printf("%-6s %-11s %7s %6s %6s %6s %6s %6s %6s\n", "app",
                 "config", "time", "instr", "L2", "L3", "memory",
                 "barrier", "lock");
-    for (const WorkloadParams &w : study.workloads()) {
-        double base = 0.0;
-        for (const std::string &cfg : Study::configNames()) {
-            const SimStats s = study.run(cfg, w, n);
-            if (cfg == "nol3")
-                base = double(s.cycles);
-            const double t = double(s.cycles) / base;
-            std::printf(
-                "%-6s %-11s %7.3f %6.3f %6.3f %6.3f %6.3f %6.3f %6.3f\n",
-                w.name.c_str(), cfg.c_str(), t, t * s.fInstruction,
-                t * s.fL2, t * s.fL3, t * s.fMemory, t * s.fBarrier,
-                t * s.fLock);
-        }
-        std::printf("\n");
+    std::string last_workload;
+    double base = 0.0;
+    for (const RunResult &r : runner.runAll()) {
+        if (r.workload != last_workload && !last_workload.empty())
+            std::printf("\n");
+        last_workload = r.workload;
+        const SimStats &s = r.stats;
+        if (r.config == "nol3")
+            base = double(s.cycles);
+        const double t = double(s.cycles) / base;
+        std::printf(
+            "%-6s %-11s %7.3f %6.3f %6.3f %6.3f %6.3f %6.3f %6.3f\n",
+            r.workload.c_str(), r.config.c_str(), t, t * s.fInstruction,
+            t * s.fL2, t * s.fL3, t * s.fMemory, t * s.fBarrier,
+            t * s.fLock);
     }
+    std::printf("\n");
     return 0;
 }

@@ -3,18 +3,24 @@
  * Paper Figure 5(a): memory hierarchy power breakdown per application
  * and configuration: L1/L2/crossbar/L3 leakage + dynamic, main-memory
  * chip dynamic / standby / refresh, and memory bus power.
+ *
+ * The sweep runs through the StudyRunner worker pool (all cores); the
+ * power breakdowns come straight from the RunResults.
  */
 
 #include <cstdio>
 
-#include "sim/study.hh"
+#include "sim/runner.hh"
 
 int
 main()
 {
     using namespace archsim;
     Study study;
-    const auto n = defaultInstrPerThread();
+
+    RunnerOptions opts;
+    opts.thermal = false;
+    const StudyRunner runner(study, opts);
 
     std::printf("=== Figure 5(a): memory hierarchy power breakdown (W) "
                 "===\n");
@@ -25,27 +31,29 @@ main()
 
     double sum_nol3 = 0.0;
     double sums[6] = {};
+    std::string last_workload;
     int idx = 0;
-    for (const WorkloadParams &w : study.workloads()) {
-        idx = 0;
-        for (const std::string &cfg : Study::configNames()) {
-            const SimStats s = study.run(cfg, w, n);
-            const PowerBreakdown b =
-                computePower(study.powerFor(cfg), s);
-            std::printf("%-6s %-11s %6.2f | %5.2f %5.2f %5.2f %5.2f "
-                        "%5.2f %5.2f %5.2f %5.2f %5.2f %5.2f\n",
-                        w.name.c_str(), cfg.c_str(),
-                        b.memoryHierarchy(), b.l1Leak + b.l1Dyn,
-                        b.l2Leak + b.l2Dyn, b.xbarLeak + b.xbarDyn,
-                        b.l3Leak, b.l3Dyn, b.l3Refresh, b.mainDyn,
-                        b.mainStandby, b.mainRefresh, b.bus);
-            sums[idx] += b.memoryHierarchy();
-            if (cfg == "nol3")
-                sum_nol3 += b.memoryHierarchy();
-            ++idx;
+    for (const RunResult &r : runner.runAll()) {
+        if (r.workload != last_workload) {
+            if (!last_workload.empty())
+                std::printf("\n");
+            idx = 0;
         }
-        std::printf("\n");
+        last_workload = r.workload;
+        const PowerBreakdown &b = r.power;
+        std::printf("%-6s %-11s %6.2f | %5.2f %5.2f %5.2f %5.2f "
+                    "%5.2f %5.2f %5.2f %5.2f %5.2f %5.2f\n",
+                    r.workload.c_str(), r.config.c_str(),
+                    b.memoryHierarchy(), b.l1Leak + b.l1Dyn,
+                    b.l2Leak + b.l2Dyn, b.xbarLeak + b.xbarDyn,
+                    b.l3Leak, b.l3Dyn, b.l3Refresh, b.mainDyn,
+                    b.mainStandby, b.mainRefresh, b.bus);
+        sums[idx] += b.memoryHierarchy();
+        if (r.config == "nol3")
+            sum_nol3 += b.memoryHierarchy();
+        ++idx;
     }
+    std::printf("\n");
 
     std::printf("average memory-hierarchy power increase vs nol3 "
                 "(paper: sram +58%%, lp_ed +37%%, lp_c +35%%, cm_ed "

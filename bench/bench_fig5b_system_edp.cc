@@ -2,18 +2,24 @@
  * @file
  * Paper Figure 5(b): system power breakdown (core + memory hierarchy)
  * and system energy-delay product normalized to the no-L3 system.
+ *
+ * The sweep runs through the StudyRunner worker pool (all cores); the
+ * power breakdowns come straight from the RunResults.
  */
 
 #include <cstdio>
 
-#include "sim/study.hh"
+#include "sim/runner.hh"
 
 int
 main()
 {
     using namespace archsim;
     Study study;
-    const auto n = defaultInstrPerThread();
+
+    RunnerOptions opts;
+    opts.thermal = false;
+    const StudyRunner runner(study, opts);
 
     std::printf("=== Figure 5(b): system power and normalized "
                 "energy-delay product ===\n");
@@ -23,35 +29,38 @@ main()
     double edp_sums[6] = {};
     int improved_sram = 0;
     int faster[6] = {};
-    for (const WorkloadParams &w : study.workloads()) {
-        double edp_base = 0.0;
-        double t_base = 0.0;
-        int idx = 0;
-        for (const std::string &cfg : Study::configNames()) {
-            const SimStats s = study.run(cfg, w, n);
-            const PowerBreakdown b =
-                computePower(study.powerFor(cfg), s);
-            if (cfg == "nol3") {
-                edp_base = b.edp();
-                t_base = b.execSeconds;
-            }
-            const double edp_norm = b.edp() / edp_base;
-            edp_sums[idx] += edp_norm;
-            if (b.execSeconds < t_base)
-                ++faster[idx];
-            if (cfg == "sram" && edp_norm < 1.0)
-                ++improved_sram;
-            std::printf("%-6s %-11s %8.2f %8.2f %8.2f %9.3f\n",
-                        w.name.c_str(), cfg.c_str(), b.corePower,
-                        b.memoryHierarchy(), b.system(), edp_norm);
-            ++idx;
+    std::string last_workload;
+    double edp_base = 0.0;
+    double t_base = 0.0;
+    int idx = 0;
+    for (const RunResult &r : runner.runAll()) {
+        if (r.workload != last_workload) {
+            if (!last_workload.empty())
+                std::printf("\n");
+            idx = 0;
         }
-        std::printf("\n");
+        last_workload = r.workload;
+        const PowerBreakdown &b = r.power;
+        if (r.config == "nol3") {
+            edp_base = b.edp();
+            t_base = b.execSeconds;
+        }
+        const double edp_norm = b.edp() / edp_base;
+        edp_sums[idx] += edp_norm;
+        if (b.execSeconds < t_base)
+            ++faster[idx];
+        if (r.config == "sram" && edp_norm < 1.0)
+            ++improved_sram;
+        std::printf("%-6s %-11s %8.2f %8.2f %8.2f %9.3f\n",
+                    r.workload.c_str(), r.config.c_str(), b.corePower,
+                    b.memoryHierarchy(), b.system(), edp_norm);
+        ++idx;
     }
+    std::printf("\n");
 
     std::printf("geometric-mean-free average normalized EDP (paper: "
                 "cm_ed 0.67, cm_c 0.60):\n");
-    int idx = 0;
+    idx = 0;
     for (const std::string &cfg : Study::configNames()) {
         std::printf("  %-11s %6.3f  (faster than nol3 on %d/8 apps)\n",
                     cfg.c_str(), edp_sums[idx] / 8.0, faster[idx]);

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Parallel-speedup benchmark for the StudyRunner: runs the full
+ * section-4 sweep (6 configurations x 8 NPB workloads = 48
+ * simulations, epoch sampling on) serially and with a worker pool,
+ * verifies the exported JSON is byte-identical per job count, and
+ * prints the wall-clock speedup.
+ *
+ * Usage: bench_study_parallel [max_jobs] [instr_per_thread]
+ *        (defaults: 8 jobs, defaultInstrPerThread()/4 instructions)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace {
+
+using namespace archsim;
+
+/** Run the sweep and export it; returns wall seconds. */
+double
+runSweep(const Study &study, int jobs, std::uint64_t instr,
+         std::string &json)
+{
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.instrPerThread = instr;
+    opts.epochCycles = 20000;
+    const StudyRunner runner(study, opts);
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<RunResult> runs = runner.runAll();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+    std::ostringstream os;
+    exportJson(os, runs, runner);
+    json = os.str();
+    return secs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int max_jobs = argc > 1 ? std::atoi(argv[1]) : 8;
+    const std::uint64_t instr =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                 : defaultInstrPerThread() / 4;
+
+    Study study;
+    std::printf("=== StudyRunner parallel speedup: 6 configs x 8 "
+                "workloads, %llu instr/thread, epoch sampling on ===\n",
+                static_cast<unsigned long long>(instr));
+    std::printf("hardware concurrency: %d\n",
+                StudyRunner::resolveJobs(0));
+
+    std::string serial_json;
+    const double t1 = runSweep(study, 1, instr, serial_json);
+    std::printf("%6s %10s %9s %14s\n", "jobs", "wall(s)", "speedup",
+                "json-identical");
+    std::printf("%6d %10.3f %9.2fx %14s\n", 1, t1, 1.0, "-");
+
+    bool identical = true;
+    for (int jobs = 2; jobs <= max_jobs; jobs *= 2) {
+        std::string json;
+        const double tn = runSweep(study, jobs, instr, json);
+        const bool same = json == serial_json;
+        identical = identical && same;
+        std::printf("%6d %10.3f %9.2fx %14s\n", jobs, tn, t1 / tn,
+                    same ? "yes" : "NO");
+    }
+    std::printf("parallel sweeps byte-identical to serial (including "
+                "epoch streams): %s\n",
+                identical ? "yes" : "NO");
+    return identical ? 0 : 1;
+}

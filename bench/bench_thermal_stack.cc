@@ -19,7 +19,7 @@ main()
 
     ThermalParams tp;
     // Bottom die: 22.3 W over 8 core tiles (L1/L2 leakage included).
-    const std::vector<double> core_tiles(8, 22.3 / 8.0);
+    const double core_die_w = 22.3;
 
     std::printf("=== Thermal: 2-die stack, max temperature per LLC "
                 "technology ===\n");
@@ -36,10 +36,8 @@ main()
         double bank_p = study.l3BankStandbyPower(cfg);
         if (cfg != "nol3")
             bank_p += 0.020; // nominal dynamic per bank
-        const std::vector<double> llc_tiles(8, bank_p);
 
-        const ThermalResult r = solveStack(tp, tileMap(tp.grid, core_tiles),
-                                           tileMap(tp.grid, llc_tiles));
+        const ThermalResult r = solveStudyStack(tp, core_die_w, bank_p);
         if (cfg == "nol3") {
             t_nol3 = r.maxTemp;
         } else {

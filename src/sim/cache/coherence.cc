@@ -229,6 +229,7 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
     }
 
     // --- Beyond the private levels.
+    ++counters_.l2Misses;
     ServedBy served = ServedBy::Memory;
     const Cycle beyond = fetchFromBeyondL2(core, line, write, now, served);
     fillL1(l1, core, line, write ? CState::Modified : CState::Shared,

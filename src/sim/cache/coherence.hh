@@ -51,6 +51,7 @@ struct HierCounters {
     std::uint64_t l1Writes = 0;
     std::uint64_t l2Reads = 0;
     std::uint64_t l2Writes = 0;
+    std::uint64_t l2Misses = 0; ///< demand accesses beyond the L2
     std::uint64_t xbarTransfers = 0;
     std::uint64_t c2cTransfers = 0;
 };

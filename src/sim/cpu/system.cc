@@ -9,6 +9,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/metrics.hh"
+
 namespace archsim {
 
 namespace {
@@ -66,8 +68,17 @@ System::System(const HierarchyParams &hp, const TraceFile &trace,
 }
 
 SimStats
-System::run()
+System::run(EpochRecorder *rec)
 {
+    if (rec)
+        rec->start(hier_.params());
+    const auto total_instructions = [this] {
+        std::uint64_t n = 0;
+        for (const auto &t : threads_)
+            n += t->stats.instructions;
+        return n;
+    };
+
     Cycle cycle = 0;
     for (;;) {
         bool all_done = true;
@@ -83,17 +94,23 @@ System::run()
 
         if (issued) {
             ++cycle;
-            continue;
+        } else {
+            // Nothing could issue: jump to the next thread wake-up.
+            // If every remaining thread is blocked on synchronization
+            // only, time still advances by one (releases happen at
+            // issue time).
+            Cycle next = std::numeric_limits<Cycle>::max();
+            for (const Core &core : cores_)
+                next = std::min(next, core.nextReady());
+            cycle = next == std::numeric_limits<Cycle>::max()
+                        ? cycle + 1
+                        : std::max(next, cycle + 1);
         }
-        // Nothing could issue: jump to the next thread wake-up.  If
-        // every remaining thread is blocked on synchronization only,
-        // time still advances by one (releases happen at issue time).
-        Cycle next = std::numeric_limits<Cycle>::max();
-        for (const Core &core : cores_)
-            next = std::min(next, core.nextReady());
-        cycle = next == std::numeric_limits<Cycle>::max()
-                    ? cycle + 1
-                    : std::max(next, cycle + 1);
+
+        if (rec && rec->due(cycle)) {
+            rec->close(cycle, total_instructions(), hier_.counters(),
+                       hier_.llc(), hier_.dramCounters());
+        }
     }
 
     SimStats s;
@@ -137,6 +154,14 @@ System::run()
         s.llcWrites = l->writes;
         s.llcHits = l->hits;
         s.llcMisses = l->misses;
+        s.llcPageHits = l->pageHits;
+        s.llcPageMisses = l->pageMisses;
+    }
+    if (rec) {
+        // Close the final (partial) epoch after the trailing idle
+        // time has been accounted.
+        rec->close(cycle, total_instructions(), hier_.counters(),
+                   hier_.llc(), hier_.dramCounters());
     }
     return s;
 }

@@ -18,6 +18,8 @@
 
 namespace archsim {
 
+class EpochRecorder;
+
 /** Aggregated results of one simulation run. */
 struct SimStats {
     std::string workload;
@@ -42,6 +44,8 @@ struct SimStats {
     std::uint64_t llcWrites = 0;
     std::uint64_t llcHits = 0;
     std::uint64_t llcMisses = 0;
+    std::uint64_t llcPageHits = 0;   ///< page-mode operation only
+    std::uint64_t llcPageMisses = 0;
 
     /** Wall-clock execution time at the CPU clock. */
     double seconds(double clock_hz) const { return cycles / clock_hz; }
@@ -70,8 +74,12 @@ class System
            std::uint64_t inst_per_thread, int n_cores = 8,
            int threads_per_core = 4);
 
-    /** Run to completion and return the statistics. */
-    SimStats run();
+    /**
+     * Run to completion and return the statistics.  When @p rec is
+     * given, counter deltas are sampled into it at every epoch
+     * boundary (see sim/metrics.hh).
+     */
+    SimStats run(EpochRecorder *rec = nullptr);
 
     CacheHierarchy &hierarchy() { return hier_; }
 

@@ -12,8 +12,28 @@ namespace archsim {
 MemorySystem::MemorySystem(const DramParams &p) : p_(p)
 {
     channels_.resize(p.nChannels);
-    for (Channel &c : channels_)
+    for (Channel &c : channels_) {
         c.banks.resize(p.banksPerChannel);
+        c.nextRefresh = p.tRefi;
+    }
+}
+
+void
+MemorySystem::refreshUpTo(Channel &ch, Cycle t)
+{
+    if (p_.tRefi == 0)
+        return;
+    while (ch.nextRefresh <= t) {
+        // All-bank refresh: every row closes and the banks are busy
+        // until the refresh cycle completes.
+        const Cycle done = ch.nextRefresh + p_.tRfc;
+        for (Bank &b : ch.banks) {
+            b.readyAt = std::max(b.readyAt, done);
+            b.openRow = -1;
+        }
+        ch.nextRefresh += p_.tRefi;
+        ++counters_.refreshes;
+    }
 }
 
 Cycle
@@ -39,6 +59,7 @@ MemorySystem::access(Addr addr, bool write, Cycle now)
     const auto row = std::int64_t(page / p_.banksPerChannel);
 
     Cycle t = now + p_.tController + wake;
+    refreshUpTo(ch, t);
 
     const bool row_hit =
         p_.policy == PagePolicy::Open && bank.openRow == row;

@@ -40,6 +40,13 @@ struct DramParams {
     bool powerDown = false;
     Cycle powerDownAfter = 60; ///< 30 ns idle timer at 2 GHz
     Cycle tPowerDownExit = 12;
+
+    // --- Refresh: every tRefi cycles each rank performs an all-bank
+    // refresh that closes every open row and occupies the banks for
+    // tRfc.  0 disables refresh timing (the refresh *power* is always
+    // accounted separately by the power model).
+    Cycle tRefi = 0;
+    Cycle tRfc = 0;
 };
 
 /** Command/energy counters for the power model. */
@@ -51,6 +58,7 @@ struct DramCounters {
     std::uint64_t busBytes = 0;
     std::uint64_t powerDownEntries = 0;
     std::uint64_t powerDownCycles = 0; ///< summed over channels
+    std::uint64_t refreshes = 0;       ///< all-bank refreshes issued
 };
 
 /** The two-channel main memory subsystem. */
@@ -93,8 +101,12 @@ class MemorySystem
         Cycle busFree = 0;
         Cycle lastActivate = 0;
         bool everActivated = false;
-        Cycle lastUse = 0; ///< for power-down accounting
+        Cycle lastUse = 0;     ///< for power-down accounting
+        Cycle nextRefresh = 0; ///< next refresh due time (tRefi > 0)
     };
+
+    /** Perform every refresh due by @p t on @p ch (lazy catch-up). */
+    void refreshUpTo(Channel &ch, Cycle t);
 
     DramParams p_;
     std::vector<Channel> channels_;

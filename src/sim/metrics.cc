@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Epoch metrics collection and derivation.
+ */
+
+#include "sim/metrics.hh"
+
+#include <stdexcept>
+
+#include "sim/cache/llc.hh"
+#include "sim/power/power.hh"
+
+namespace archsim {
+
+EpochRecorder::EpochRecorder(Cycle interval) : interval_(interval)
+{
+    if (interval == 0)
+        throw std::invalid_argument("epoch interval must be > 0");
+}
+
+void
+EpochRecorder::start(const HierarchyParams &hp)
+{
+    nChannels_ = hp.dram.nChannels;
+    epochStart_ = 0;
+    prev_ = EpochSample{};
+    prevPowerDownCycles_ = 0;
+    samples_.clear();
+}
+
+void
+EpochRecorder::close(Cycle now, std::uint64_t instructions,
+                     const HierCounters &hier, const Llc *llc,
+                     const DramCounters &dram)
+{
+    if (now <= epochStart_)
+        return;
+
+    EpochSample cur;
+    cur.instructions = instructions;
+    cur.l1Reads = hier.l1Reads;
+    cur.l1Writes = hier.l1Writes;
+    cur.l2Reads = hier.l2Reads;
+    cur.l2Writes = hier.l2Writes;
+    cur.l2Misses = hier.l2Misses;
+    cur.xbarTransfers = hier.xbarTransfers;
+    if (llc) {
+        cur.llcReads = llc->reads;
+        cur.llcWrites = llc->writes;
+        cur.llcHits = llc->hits;
+        cur.llcMisses = llc->misses;
+    }
+    cur.dramActivates = dram.activates;
+    cur.dramReads = dram.reads;
+    cur.dramWrites = dram.writes;
+    cur.dramRowHits = dram.rowHits;
+    cur.dramBusBytes = dram.busBytes;
+
+    EpochSample s;
+    s.index = int(samples_.size());
+    s.beginCycle = epochStart_;
+    s.endCycle = now;
+    s.instructions = cur.instructions - prev_.instructions;
+    s.l1Reads = cur.l1Reads - prev_.l1Reads;
+    s.l1Writes = cur.l1Writes - prev_.l1Writes;
+    s.l2Reads = cur.l2Reads - prev_.l2Reads;
+    s.l2Writes = cur.l2Writes - prev_.l2Writes;
+    s.l2Misses = cur.l2Misses - prev_.l2Misses;
+    s.xbarTransfers = cur.xbarTransfers - prev_.xbarTransfers;
+    s.llcReads = cur.llcReads - prev_.llcReads;
+    s.llcWrites = cur.llcWrites - prev_.llcWrites;
+    s.llcHits = cur.llcHits - prev_.llcHits;
+    s.llcMisses = cur.llcMisses - prev_.llcMisses;
+    s.dramActivates = cur.dramActivates - prev_.dramActivates;
+    s.dramReads = cur.dramReads - prev_.dramReads;
+    s.dramWrites = cur.dramWrites - prev_.dramWrites;
+    s.dramRowHits = cur.dramRowHits - prev_.dramRowHits;
+    s.dramBusBytes = cur.dramBusBytes - prev_.dramBusBytes;
+    const std::uint64_t pd_delta =
+        dram.powerDownCycles - prevPowerDownCycles_;
+    s.poweredDownFraction =
+        double(pd_delta) / (double(s.cycles()) * nChannels_);
+
+    samples_.push_back(s);
+    epochStart_ = now;
+    prev_ = cur;
+    prevPowerDownCycles_ = dram.powerDownCycles;
+}
+
+void
+deriveEpochMetrics(std::vector<EpochSample> &samples,
+                   const PowerParams &power, const EpochDeriveParams &dp)
+{
+    for (EpochSample &s : samples) {
+        const double cycles = double(s.cycles());
+        if (cycles <= 0)
+            continue;
+        const double kilo_inst = double(s.instructions) / 1e3;
+        s.ipc = double(s.instructions) / cycles;
+        s.l2Mpki = kilo_inst > 0 ? double(s.l2Misses) / kilo_inst : 0.0;
+        s.l3Mpki = kilo_inst > 0 ? double(s.llcMisses) / kilo_inst : 0.0;
+        const double seconds = cycles / power.clockHz;
+        s.dramBandwidthGBs = double(s.dramBusBytes) / seconds / 1e9;
+
+        ActivityCounts a;
+        a.cycles = s.cycles();
+        a.l1Reads = s.l1Reads;
+        a.l1Writes = s.l1Writes;
+        a.l2Reads = s.l2Reads;
+        a.l2Writes = s.l2Writes;
+        a.xbarTransfers = s.xbarTransfers;
+        a.llcReads = s.llcReads;
+        a.llcWrites = s.llcWrites;
+        a.dramActivates = s.dramActivates;
+        a.dramReads = s.dramReads;
+        a.dramWrites = s.dramWrites;
+        a.dramBusBytes = s.dramBusBytes;
+        a.poweredDownFraction = s.poweredDownFraction;
+        const PowerBreakdown b = computePower(power, a);
+        s.memHierPowerW = b.memoryHierarchy();
+
+        if (dp.computeThermal) {
+            // Top die: per-bank standby plus this epoch's dynamic
+            // share; bottom die: the cores (L1/L2 leakage included).
+            const double bank_w =
+                dp.l3BankStandbyPowerW + b.l3Dyn / 8.0;
+            s.stackTempK = solveStudyStack(dp.thermal, power.corePowerW,
+                                           bank_w)
+                               .maxTemp;
+        }
+    }
+}
+
+} // namespace archsim

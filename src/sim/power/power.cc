@@ -16,45 +16,65 @@ PowerBreakdown::memoryHierarchy() const
 }
 
 PowerBreakdown
-computePower(const PowerParams &p, const SimStats &s)
+computePower(const PowerParams &p, const ActivityCounts &a)
 {
     PowerBreakdown b;
-    const double t = s.cycles / p.clockHz;
+    const double t = a.cycles / p.clockHz;
     if (t <= 0)
         return b;
     b.execSeconds = t;
 
     b.l1Leak = p.l1.leakage;
-    b.l1Dyn = (s.hier.l1Reads * p.l1.readEnergy +
-               s.hier.l1Writes * p.l1.writeEnergy) / t;
+    b.l1Dyn = (a.l1Reads * p.l1.readEnergy +
+               a.l1Writes * p.l1.writeEnergy) / t;
 
     b.l2Leak = p.l2.leakage;
-    b.l2Dyn = (s.hier.l2Reads * p.l2.readEnergy +
-               s.hier.l2Writes * p.l2.writeEnergy) / t;
+    b.l2Dyn = (a.l2Reads * p.l2.readEnergy +
+               a.l2Writes * p.l2.writeEnergy) / t;
 
     b.xbarLeak = p.xbarLeakage;
-    b.xbarDyn = s.hier.xbarTransfers * p.xbarEnergyPerTransfer / t;
+    b.xbarDyn = a.xbarTransfers * p.xbarEnergyPerTransfer / t;
 
     b.l3Leak = p.l3.leakage;
     b.l3Refresh = p.l3.refresh;
-    b.l3Dyn = (s.llcReads * p.l3.readEnergy +
-               s.llcWrites * p.l3.writeEnergy) / t;
+    b.l3Dyn = (a.llcReads * p.l3.readEnergy +
+               a.llcWrites * p.l3.writeEnergy) / t;
 
-    b.mainDyn = (s.dram.activates * p.eActivate +
-                 s.dram.reads * p.eRead + s.dram.writes * p.eWrite) / t;
+    b.mainDyn = (a.dramActivates * p.eActivate +
+                 a.dramReads * p.eRead + a.dramWrites * p.eWrite) / t;
     // Power-down modes park idle ranks at a fraction of the active
     // standby power (the paper's future-work suggestion).
-    const double pd = s.memPoweredDownFraction;
+    const double pd = a.poweredDownFraction;
     b.mainStandby = p.memStandbyW *
                     (1.0 - pd * (1.0 - p.powerDownResidual));
     b.mainRefresh = p.memRefreshW;
 
     // Bus energy: command/address + data for every burst, 2 pJ/bit.
-    const double bus_bits = double(s.dram.busBytes) * 8.0 * 1.15;
+    const double bus_bits = double(a.dramBusBytes) * 8.0 * 1.15;
     b.bus = bus_bits * p.busEnergyPerBit / t;
 
     b.corePower = p.corePowerW;
     return b;
+}
+
+PowerBreakdown
+computePower(const PowerParams &p, const SimStats &s)
+{
+    ActivityCounts a;
+    a.cycles = s.cycles;
+    a.l1Reads = s.hier.l1Reads;
+    a.l1Writes = s.hier.l1Writes;
+    a.l2Reads = s.hier.l2Reads;
+    a.l2Writes = s.hier.l2Writes;
+    a.xbarTransfers = s.hier.xbarTransfers;
+    a.llcReads = s.llcReads;
+    a.llcWrites = s.llcWrites;
+    a.dramActivates = s.dram.activates;
+    a.dramReads = s.dram.reads;
+    a.dramWrites = s.dram.writes;
+    a.dramBusBytes = s.dram.busBytes;
+    a.poweredDownFraction = s.memPoweredDownFraction;
+    return computePower(p, a);
 }
 
 } // namespace archsim

@@ -75,6 +75,27 @@ struct PowerBreakdown {
     double edp() const { return energy() * execSeconds; }
 };
 
+/**
+ * Raw activity totals over an interval.  The power model is a pure
+ * function of these counts, so the same computation serves the whole
+ * run (from SimStats) and a single metrics epoch (from the deltas an
+ * EpochRecorder collected).
+ */
+struct ActivityCounts {
+    Cycle cycles = 0;
+    std::uint64_t l1Reads = 0, l1Writes = 0;
+    std::uint64_t l2Reads = 0, l2Writes = 0;
+    std::uint64_t xbarTransfers = 0;
+    std::uint64_t llcReads = 0, llcWrites = 0;
+    std::uint64_t dramActivates = 0, dramReads = 0, dramWrites = 0;
+    std::uint64_t dramBusBytes = 0;
+    double poweredDownFraction = 0.0;
+};
+
+/** Roll raw activity counts up into powers. */
+PowerBreakdown computePower(const PowerParams &p,
+                            const ActivityCounts &a);
+
 /** Roll the simulation counters up into powers. */
 PowerBreakdown computePower(const PowerParams &p, const SimStats &s);
 

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * StudyRunner implementation and sweep serialization.
+ */
+
+#include "sim/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace archsim {
+
+namespace {
+
+/** Round-trip-exact double: equal values print equal bytes. */
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jstr(const std::string &s)
+{
+    return "\"" + s + "\"";
+}
+
+} // namespace
+
+StudyRunner::StudyRunner(const Study &study, RunnerOptions opts)
+    : study_(&study), opts_(std::move(opts))
+{
+    const std::vector<std::string> &all = Study::configNames();
+    if (opts_.configs.empty()) {
+        configs_ = all;
+    } else {
+        for (const std::string &c : opts_.configs) {
+            if (std::find(all.begin(), all.end(), c) == all.end())
+                throw std::invalid_argument("unknown config: " + c);
+            configs_.push_back(c);
+        }
+    }
+
+    const std::vector<WorkloadParams> suite = study.workloads();
+    if (opts_.workloads.empty()) {
+        workloads_ = suite;
+    } else {
+        for (const std::string &name : opts_.workloads) {
+            const auto it = std::find_if(
+                suite.begin(), suite.end(),
+                [&](const WorkloadParams &w) { return w.name == name; });
+            if (it == suite.end())
+                throw std::invalid_argument("unknown workload: " + name);
+            workloads_.push_back(*it);
+        }
+    }
+
+    instr_ = opts_.instrPerThread ? opts_.instrPerThread
+                                  : defaultInstrPerThread();
+}
+
+int
+StudyRunner::resolveJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+RunResult
+StudyRunner::execute(const std::string &config,
+                     const WorkloadParams &w) const
+{
+    HierarchyParams hp = study_->hierarchyFor(config);
+    if (opts_.tweakHierarchy)
+        opts_.tweakHierarchy(config, hp);
+
+    System sys(hp, study_->scaledWorkload(w), instr_);
+
+    RunResult r;
+    r.config = config;
+    r.workload = w.name;
+    if (opts_.epochCycles > 0) {
+        EpochRecorder rec(opts_.epochCycles);
+        r.stats = sys.run(&rec);
+        r.epochs = rec.take();
+    } else {
+        r.stats = sys.run();
+    }
+    r.stats.config = config;
+
+    PowerParams pp = study_->powerFor(config);
+    if (opts_.tweakPower)
+        opts_.tweakPower(config, pp);
+    r.power = computePower(pp, r.stats);
+
+    const double bank_standby = study_->l3BankStandbyPower(config);
+    if (!r.epochs.empty()) {
+        EpochDeriveParams dp;
+        dp.l3BankStandbyPowerW = bank_standby;
+        dp.computeThermal = opts_.thermal;
+        dp.thermal = opts_.thermalParams;
+        deriveEpochMetrics(r.epochs, pp, dp);
+    }
+    if (opts_.thermal) {
+        r.thermal = solveStudyStack(opts_.thermalParams, pp.corePowerW,
+                                    bank_standby + r.power.l3Dyn / 8.0);
+    }
+    return r;
+}
+
+RunResult
+StudyRunner::runOne(const std::string &config,
+                    const std::string &workload) const
+{
+    const std::vector<std::string> &all = Study::configNames();
+    if (std::find(all.begin(), all.end(), config) == all.end())
+        throw std::invalid_argument("unknown config: " + config);
+    for (const WorkloadParams &w : workloads_) {
+        if (w.name == workload)
+            return execute(config, w);
+    }
+    // Fall back to the full suite (the runner may cover a subset).
+    return execute(config, npbWorkload(workload));
+}
+
+std::vector<RunResult>
+StudyRunner::runAll() const
+{
+    struct Task {
+        const std::string *config;
+        const WorkloadParams *workload;
+    };
+    std::vector<Task> tasks;
+    tasks.reserve(configs_.size() * workloads_.size());
+    for (const WorkloadParams &w : workloads_) {
+        for (const std::string &c : configs_)
+            tasks.push_back({&c, &w});
+    }
+
+    std::vector<RunResult> results(tasks.size());
+    const int jobs = static_cast<int>(
+        std::min<std::size_t>(resolveJobs(opts_.jobs),
+                              std::max<std::size_t>(tasks.size(), 1)));
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            results[i] = execute(*tasks[i].config, *tasks[i].workload);
+        return results;
+    }
+
+    // Each simulation is independent and internally deterministic;
+    // results land in enumeration-indexed slots, so the sweep output
+    // never depends on completion order.
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mtx;
+    std::exception_ptr first_error;
+    auto worker = [&] {
+        for (std::size_t i = next.fetch_add(1); i < tasks.size();
+             i = next.fetch_add(1)) {
+            try {
+                results[i] =
+                    execute(*tasks[i].config, *tasks[i].workload);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(err_mtx);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (int j = 0; j < jobs; ++j)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+void
+exportJson(std::ostream &os, const std::vector<RunResult> &runs,
+           const StudyRunner &runner)
+{
+    os << "{\n";
+    os << "  \"schema\": \"cactid-study-v1\",\n";
+    os << "  \"instr_per_thread\": " << runner.instrPerThread() << ",\n";
+    os << "  \"epoch_cycles\": " << runner.options().epochCycles
+       << ",\n";
+    os << "  \"clock_hz\": " << num(2e9) << ",\n";
+    os << "  \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunResult &r = runs[i];
+        const SimStats &s = r.stats;
+        const PowerBreakdown &b = r.power;
+        os << (i ? ",\n    {" : "\n    {");
+        os << "\"config\": " << jstr(r.config)
+           << ", \"workload\": " << jstr(r.workload);
+        os << ", \"cycles\": " << s.cycles;
+        os << ", \"instructions\": " << s.instructions;
+        os << ", \"ipc\": " << num(s.ipc);
+        os << ", \"avg_read_latency\": " << num(s.avgReadLatency);
+        os << ",\n     \"breakdown\": {\"instruction\": "
+           << num(s.fInstruction) << ", \"l2\": " << num(s.fL2)
+           << ", \"l3\": " << num(s.fL3)
+           << ", \"memory\": " << num(s.fMemory)
+           << ", \"barrier\": " << num(s.fBarrier)
+           << ", \"lock\": " << num(s.fLock) << "}";
+        os << ",\n     \"llc\": {\"reads\": " << s.llcReads
+           << ", \"writes\": " << s.llcWrites
+           << ", \"hits\": " << s.llcHits
+           << ", \"misses\": " << s.llcMisses << "}";
+        os << ",\n     \"dram\": {\"activates\": " << s.dram.activates
+           << ", \"reads\": " << s.dram.reads
+           << ", \"writes\": " << s.dram.writes
+           << ", \"row_hits\": " << s.dram.rowHits
+           << ", \"bus_bytes\": " << s.dram.busBytes
+           << ", \"refreshes\": " << s.dram.refreshes << "}";
+        os << ",\n     \"power\": {\"memory_hierarchy_w\": "
+           << num(b.memoryHierarchy())
+           << ", \"system_w\": " << num(b.system())
+           << ", \"l1_w\": " << num(b.l1Leak + b.l1Dyn)
+           << ", \"l2_w\": " << num(b.l2Leak + b.l2Dyn)
+           << ", \"xbar_w\": " << num(b.xbarLeak + b.xbarDyn)
+           << ", \"l3_leak_w\": " << num(b.l3Leak)
+           << ", \"l3_dyn_w\": " << num(b.l3Dyn)
+           << ", \"l3_refresh_w\": " << num(b.l3Refresh)
+           << ", \"main_dyn_w\": " << num(b.mainDyn)
+           << ", \"main_standby_w\": " << num(b.mainStandby)
+           << ", \"main_refresh_w\": " << num(b.mainRefresh)
+           << ", \"bus_w\": " << num(b.bus)
+           << ", \"edp_js\": " << num(b.edp()) << "}";
+        os << ",\n     \"thermal\": {\"max_temp_k\": "
+           << num(r.thermal.maxTemp)
+           << ", \"top_die_k\": " << num(r.thermal.maxTempTopDie)
+           << ", \"bottom_die_k\": " << num(r.thermal.maxTempBottomDie)
+           << "}";
+        os << ",\n     \"epochs\": [";
+        for (std::size_t e = 0; e < r.epochs.size(); ++e) {
+            const EpochSample &ep = r.epochs[e];
+            os << (e ? ",\n       {" : "\n       {");
+            os << "\"begin\": " << ep.beginCycle
+               << ", \"end\": " << ep.endCycle
+               << ", \"instructions\": " << ep.instructions
+               << ", \"ipc\": " << num(ep.ipc)
+               << ", \"l2_mpki\": " << num(ep.l2Mpki)
+               << ", \"l3_mpki\": " << num(ep.l3Mpki)
+               << ", \"dram_gbps\": " << num(ep.dramBandwidthGBs)
+               << ", \"mem_power_w\": " << num(ep.memHierPowerW)
+               << ", \"stack_temp_k\": " << num(ep.stackTempK) << "}";
+        }
+        os << (r.epochs.empty() ? "]" : "\n     ]");
+        os << "}";
+    }
+    os << (runs.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
+}
+
+void
+exportEpochsCsv(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    os << "config,workload,epoch,begin_cycle,end_cycle,instructions,"
+          "ipc,l2_mpki,l3_mpki,dram_gbps,mem_power_w,stack_temp_k\n";
+    for (const RunResult &r : runs) {
+        for (const EpochSample &e : r.epochs) {
+            os << r.config << ',' << r.workload << ',' << e.index << ','
+               << e.beginCycle << ',' << e.endCycle << ','
+               << e.instructions << ',' << num(e.ipc) << ','
+               << num(e.l2Mpki) << ',' << num(e.l3Mpki) << ','
+               << num(e.dramBandwidthGBs) << ','
+               << num(e.memHierPowerW) << ',' << num(e.stackTempK)
+               << '\n';
+        }
+    }
+}
+
+void
+exportSummaryCsv(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    os << "config,workload,cycles,instructions,ipc,avg_read_latency,"
+          "mem_power_w,system_power_w,edp_js,max_temp_k\n";
+    for (const RunResult &r : runs) {
+        os << r.config << ',' << r.workload << ',' << r.stats.cycles
+           << ',' << r.stats.instructions << ',' << num(r.stats.ipc)
+           << ',' << num(r.stats.avgReadLatency) << ','
+           << num(r.power.memoryHierarchy()) << ','
+           << num(r.power.system()) << ',' << num(r.power.edp()) << ','
+           << num(r.thermal.maxTemp) << '\n';
+    }
+}
+
+} // namespace archsim

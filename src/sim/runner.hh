@@ -1,0 +1,144 @@
+/**
+ * @file
+ * StudyRunner: the parallel, observable front door of the section-4
+ * LLC study.
+ *
+ * The runner fans the (configuration x workload) simulations of a
+ * Study across a worker pool, the same `jobs` pattern the CACTI-D
+ * SolverEngine uses on the solve path.  Every simulation is an
+ * independent, single-threaded, deterministically seeded System run
+ * (thread seeds derive from the hardware-thread index only), and
+ * results land in slots indexed by enumeration order — so a sweep
+ * with jobs=N is bit-identical to jobs=1, including the per-epoch
+ * metric streams.
+ *
+ * The runner is the single entry point used by the figure benches,
+ * the ablations (through the tweak hooks) and the `cactid-study`
+ * tool; exportJson / exportEpochsCsv / exportSummaryCsv serialize a
+ * sweep with round-trip-exact doubles so equal results produce equal
+ * bytes.
+ */
+
+#ifndef ARCHSIM_RUNNER_HH
+#define ARCHSIM_RUNNER_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/power/power.hh"
+#include "sim/study.hh"
+#include "sim/thermal/thermal.hh"
+
+namespace archsim {
+
+/** Knobs controlling how a sweep executes (not what it simulates). */
+struct RunnerOptions {
+    /**
+     * Worker threads across simulations; 0 means
+     * std::thread::hardware_concurrency(), 1 runs fully serial.
+     */
+    int jobs = 0;
+
+    /** Instruction budget per hardware thread; 0 = the study default. */
+    std::uint64_t instrPerThread = 0;
+
+    /** Epoch sampling interval in CPU cycles; 0 disables sampling. */
+    Cycle epochCycles = 0;
+
+    /** Solve the stack temperature (per run and per epoch). */
+    bool thermal = true;
+    ThermalParams thermalParams;
+
+    /** Subset of configurations to run; empty = all six. */
+    std::vector<std::string> configs;
+
+    /** Subset of workloads (by name); empty = all eight. */
+    std::vector<std::string> workloads;
+
+    /** Ablation hook: adjust the hierarchy of a configuration. */
+    std::function<void(const std::string &config, HierarchyParams &)>
+        tweakHierarchy;
+
+    /** Ablation hook: adjust the power model of a configuration. */
+    std::function<void(const std::string &config, PowerParams &)>
+        tweakPower;
+};
+
+/** Everything one (config, workload) simulation produced. */
+struct RunResult {
+    std::string config;
+    std::string workload;
+    SimStats stats;
+    PowerBreakdown power;
+    ThermalResult thermal;
+    std::vector<EpochSample> epochs;
+};
+
+/** The parallel study sweep driver. */
+class StudyRunner
+{
+  public:
+    /** @p study must outlive the runner. */
+    explicit StudyRunner(const Study &study, RunnerOptions opts = {});
+
+    /**
+     * Run the whole sweep: workload-major order (all configurations
+     * of the first workload, then the next workload), matching the
+     * figure benches' iteration order.
+     */
+    std::vector<RunResult> runAll() const;
+
+    /** Run a single (config, workload) pair. */
+    RunResult runOne(const std::string &config,
+                     const std::string &workload) const;
+
+    const RunnerOptions &options() const { return opts_; }
+
+    /** The configuration names this sweep covers. */
+    const std::vector<std::string> &configs() const { return configs_; }
+
+    /** The workloads this sweep covers. */
+    const std::vector<WorkloadParams> &workloads() const
+    {
+        return workloads_;
+    }
+
+    /** Effective instruction budget per hardware thread. */
+    std::uint64_t instrPerThread() const { return instr_; }
+
+    /** Threads a given jobs setting resolves to on this machine. */
+    static int resolveJobs(int jobs);
+
+  private:
+    RunResult execute(const std::string &config,
+                      const WorkloadParams &w) const;
+
+    const Study *study_;
+    RunnerOptions opts_;
+    std::vector<std::string> configs_;
+    std::vector<WorkloadParams> workloads_;
+    std::uint64_t instr_;
+};
+
+/**
+ * Serialize a sweep as JSON (schema "cactid-study-v1", documented in
+ * the README).  Doubles print with round-trip precision: equal
+ * results produce byte-identical output.
+ */
+void exportJson(std::ostream &os, const std::vector<RunResult> &runs,
+                const StudyRunner &runner);
+
+/** One CSV row per epoch sample across all runs. */
+void exportEpochsCsv(std::ostream &os,
+                     const std::vector<RunResult> &runs);
+
+/** One CSV row per (config, workload) with the final aggregates. */
+void exportSummaryCsv(std::ostream &os,
+                      const std::vector<RunResult> &runs);
+
+} // namespace archsim
+
+#endif // ARCHSIM_RUNNER_HH

@@ -270,14 +270,27 @@ Study::powerFor(const std::string &config) const
     return p;
 }
 
-SimStats
-Study::run(const std::string &config, const WorkloadParams &w,
-           std::uint64_t inst_per_thread) const
+std::uint64_t
+Study::simScale()
+{
+    return kSimScale;
+}
+
+WorkloadParams
+Study::scaledWorkload(const WorkloadParams &w) const
 {
     WorkloadParams scaled = w;
     scaled.hotBytes = w.hotBytes / double(kSimScale);
     scaled.wsBytes = w.wsBytes / double(kSimScale);
-    System sys(hierarchyFor(config), scaled, inst_per_thread);
+    return scaled;
+}
+
+SimStats
+Study::run(const std::string &config, const WorkloadParams &w,
+           std::uint64_t inst_per_thread) const
+{
+    System sys(hierarchyFor(config), scaledWorkload(w),
+               inst_per_thread);
     SimStats s = sys.run();
     s.config = config;
     return s;

@@ -52,6 +52,15 @@ class Study
     const Projection &l3(const std::string &config) const;
     const cactid::Solution &mainMemoryChip() const { return mm_; }
 
+    /**
+     * Common capacity/footprint scale of the timing simulation (the
+     * power model keeps unscaled CACTI-D energies).
+     */
+    static std::uint64_t simScale();
+
+    /** Footprint-scaled copy of @p w — what run() actually simulates. */
+    WorkloadParams scaledWorkload(const WorkloadParams &w) const;
+
     /** Simulator parameters of one configuration. */
     HierarchyParams hierarchyFor(const std::string &config) const;
 

@@ -33,6 +33,16 @@ tileMap(int grid, const std::vector<double> &tiles)
 }
 
 ThermalResult
+solveStudyStack(const ThermalParams &p, double core_die_w,
+                double l3_bank_w)
+{
+    const std::vector<double> core_tiles(8, core_die_w / 8.0);
+    const std::vector<double> llc_tiles(8, l3_bank_w);
+    return solveStack(p, tileMap(p.grid, core_tiles),
+                      tileMap(p.grid, llc_tiles));
+}
+
+ThermalResult
 solveStack(const ThermalParams &p, const std::vector<double> &bottom_power,
            const std::vector<double> &top_power)
 {

@@ -46,6 +46,14 @@ ThermalResult solveStack(const ThermalParams &p,
  */
 std::vector<double> tileMap(int grid, const std::vector<double> &tiles);
 
+/**
+ * Solve the study's 2-die stack for the standard floorplan: the core
+ * die dissipates @p core_die_w spread over 8 equal tiles, the LLC die
+ * @p l3_bank_w per bank over its 8 tiles (0 for the no-L3 system).
+ */
+ThermalResult solveStudyStack(const ThermalParams &p, double core_die_w,
+                              double l3_bank_w);
+
 } // namespace archsim
 
 #endif // ARCHSIM_THERMAL_THERMAL_HH

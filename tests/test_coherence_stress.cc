@@ -97,4 +97,110 @@ TEST_P(CoherenceStressSeeds, Randomized)
 INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceStressSeeds,
                          ::testing::Range(0, 10));
 
+/**
+ * Property-based protocol checks: replay random interleavings against
+ * an abstract line model (a version number bumped by every write, the
+ * identity of the last writer, and the last version each core
+ * observed) and assert the MESI invariants the directory must uphold:
+ *
+ *  - single writer: immediately after a write, the writer holds a
+ *    writable copy and every other core's L2 is Invalid;
+ *  - no stale reads: a core whose last observed version predates the
+ *    current one cannot be served from its own L1/L2 (its copy must
+ *    have been invalidated by the intervening remote write);
+ *  - directory agreement: a Modified line is held by the last writer.
+ *
+ * Silent clean evictions only *remove* copies, so the invariants hold
+ * regardless of replacement behaviour -- no reference sharer set is
+ * kept (one would diverge under evictions).
+ */
+void
+propertyStress(bool with_l3, std::uint64_t seed, int accesses,
+               int lines)
+{
+    constexpr int kCores = 8;
+    CacheHierarchy h(stressSystem(with_l3));
+    Rng rng(seed);
+    Cycle now = 0;
+
+    std::vector<std::uint64_t> version(lines, 0);
+    std::vector<int> last_writer(lines, -1);
+    // seen[core][line]: last version observed; -1 = never accessed.
+    std::vector<std::vector<std::int64_t>> seen(
+        kCores, std::vector<std::int64_t>(lines, -1));
+
+    for (int i = 0; i < accesses; ++i) {
+        const int line = int(rng.below(lines));
+        const Addr addr = Addr(line) * 64;
+        const int core = int(rng.below(kCores));
+        const bool write = rng.uniform() < 0.4;
+
+        const auto r = h.access(core, addr, write, false, now);
+        now += r.latency + 1;
+
+        // No stale read (or write hit) after a remote write: a core
+        // behind the current version must not be served locally.
+        if (seen[core][line] != std::int64_t(version[line])) {
+            ASSERT_NE(r.servedBy, ServedBy::L1)
+                << "stale L1 serve, access " << i << " core " << core;
+            ASSERT_NE(r.servedBy, ServedBy::L2)
+                << "stale L2 serve, access " << i << " core " << core;
+        }
+
+        if (write) {
+            ++version[line];
+            last_writer[line] = core;
+            // Single writer, multiple readers: the write must have
+            // invalidated every remote copy.
+            ASSERT_TRUE(writable(h.l2State(core, addr)))
+                << "writer lacks ownership, access " << i;
+            for (int o = 0; o < kCores; ++o) {
+                if (o == core)
+                    continue;
+                ASSERT_EQ(h.l2State(o, addr), CState::Invalid)
+                    << "remote copy survived a write, access " << i
+                    << " writer " << core << " holder " << o;
+            }
+        }
+        seen[core][line] = std::int64_t(version[line]);
+
+        // Directory agreement: only the last writer may hold Modified.
+        for (int o = 0; o < kCores; ++o) {
+            if (h.l2State(o, addr) == CState::Modified) {
+                ASSERT_EQ(o, last_writer[line])
+                    << "Modified holder is not the last writer, "
+                       "access " << i;
+            }
+        }
+        ASSERT_TRUE(h.coherent(addr));
+    }
+}
+
+TEST(CoherenceProperties, RandomInterleavingsWithL3)
+{
+    propertyStress(true, 0x5EED, 4000, 48);
+}
+
+TEST(CoherenceProperties, RandomInterleavingsWithoutL3)
+{
+    propertyStress(false, 0x51DE, 4000, 48);
+}
+
+TEST(CoherenceProperties, SingleLineContention)
+{
+    propertyStress(true, 0xACE, 2000, 1);
+}
+
+class CoherencePropertySeeds : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CoherencePropertySeeds, Randomized)
+{
+    propertyStress(GetParam() % 2 == 0, 0x2000 + GetParam(), 2500, 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherencePropertySeeds,
+                         ::testing::Range(0, 10));
+
 } // namespace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Golden regression values for the section-4 study: cycle counts, IPC
+ * and memory-hierarchy power of three configurations on two short
+ * workloads, pinned to the values the simulator produced when this
+ * test was written.  The simulation is deterministic, so the integer
+ * aggregates must match exactly; the derived doubles get a small
+ * relative tolerance to stay robust to compiler/libm differences.
+ *
+ * If a deliberate model change moves these numbers, regenerate them
+ * with:
+ *   cactid-study --configs nol3,sram,cm_dram_ed --workloads ft.B,cg.C \
+ *                --instr 20000 --epoch 0 --no-thermal --quiet \
+ *                --summary-csv -
+ */
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+
+#include "sim/runner.hh"
+
+using namespace archsim;
+
+namespace {
+
+struct Golden {
+    const char *config;
+    const char *workload;
+    std::uint64_t cycles;
+    double ipc;
+    double memPowerW;
+};
+
+// Sweep order: workload-major (all configs of ft.B, then cg.C).
+const Golden kGolden[] = {
+    {"nol3", "ft.B", 1261337, 0.507398102172536, 4.0055539209380067},
+    {"sram", "ft.B", 775604, 0.82516335655824369, 7.4612312011669903},
+    {"cm_dram_ed", "ft.B", 774313, 0.82653913856541217,
+     4.3517323769935992},
+    {"nol3", "cg.C", 1766200, 0.36235986864454761, 4.026417279615063},
+    {"sram", "cg.C", 1893148, 0.33806126092624561, 7.3328169437358213},
+    {"cm_dram_ed", "cg.C", 1726437, 0.37070567880553995,
+     4.2730344574245276},
+};
+
+constexpr double kRelTol = 1e-9;
+
+} // namespace
+
+TEST(StudyGolden, AggregatesMatchPinnedValues)
+{
+    Study study;
+    RunnerOptions opts;
+    opts.instrPerThread = 20000;
+    opts.thermal = false;
+    opts.configs = {"nol3", "sram", "cm_dram_ed"};
+    opts.workloads = {"ft.B", "cg.C"};
+    const StudyRunner runner(study, opts);
+
+    const std::vector<RunResult> runs = runner.runAll();
+    ASSERT_EQ(runs.size(), std::size(kGolden));
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        SCOPED_TRACE(std::string(kGolden[i].workload) + "/" +
+                     kGolden[i].config);
+        EXPECT_EQ(runs[i].config, kGolden[i].config);
+        EXPECT_EQ(runs[i].workload, kGolden[i].workload);
+        EXPECT_EQ(runs[i].stats.cycles, kGolden[i].cycles);
+        EXPECT_EQ(runs[i].stats.instructions, 640000u); // 32 threads
+        EXPECT_NEAR(runs[i].stats.ipc, kGolden[i].ipc,
+                    kGolden[i].ipc * kRelTol);
+        EXPECT_NEAR(runs[i].power.memoryHierarchy(),
+                    kGolden[i].memPowerW,
+                    kGolden[i].memPowerW * kRelTol);
+    }
+}
+
+// The relative ordering the paper's figures rest on: the SRAM and
+// CM-DRAM L3s speed up ft.B substantially, and the SRAM L3 costs far
+// more memory-hierarchy power than the COMM-DRAM L3.
+TEST(StudyGolden, QualitativeShapeHolds)
+{
+    // Derived from the same pinned table; no re-simulation needed.
+    EXPECT_GT(kGolden[1].ipc, kGolden[0].ipc * 1.4); // sram vs nol3
+    EXPECT_GT(kGolden[2].ipc, kGolden[0].ipc * 1.4); // cm_ed vs nol3
+    EXPECT_GT(kGolden[1].memPowerW, kGolden[2].memPowerW * 1.5);
+}

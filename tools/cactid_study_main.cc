@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The `cactid-study` command-line tool: run the section-4 LLC study
+ * sweep (6 configurations x 8 NPB workloads) across a worker pool and
+ * export the Figure-4/5 aggregates and the per-epoch metric streams
+ * as JSON and CSV.
+ *
+ * Usage:
+ *   cactid-study                         full sweep, aggregate table
+ *   cactid-study --jobs 8                worker threads (0 = all cores)
+ *   cactid-study --instr 50000           instruction budget per thread
+ *   cactid-study --epoch 20000           epoch interval (cycles)
+ *   cactid-study --configs nol3,sram     subset of configurations
+ *   cactid-study --workloads ft.B,cg.C   subset of workloads
+ *   cactid-study --json FILE             JSON export ("-" = stdout)
+ *   cactid-study --csv FILE              per-epoch CSV export
+ *   cactid-study --summary-csv FILE      per-run aggregate CSV export
+ *   cactid-study --no-thermal            skip the stack thermal solves
+ *   cactid-study --table3                print Table 3 first
+ *   cactid-study --quiet                 suppress the aggregate table
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace {
+
+using namespace archsim;
+
+void
+printHelp()
+{
+    std::printf(
+        "cactid-study - parallel LLC study sweep (paper section 4)\n"
+        "\n"
+        "usage: cactid-study [options]\n"
+        "  --jobs N           worker threads (0 = all cores; default 0)\n"
+        "  --instr N          instructions per hardware thread\n"
+        "                     (default: ARCHSIM_INSTR or 150000)\n"
+        "  --epoch N          epoch sampling interval in CPU cycles\n"
+        "                     (default 20000; 0 disables sampling)\n"
+        "  --configs a,b      subset of: nol3 sram lp_dram_ed lp_dram_c\n"
+        "                     cm_dram_ed cm_dram_c\n"
+        "  --workloads x,y    subset of: bt.C cg.C ft.B is.C lu.C mg.B\n"
+        "                     sp.C ua.C\n"
+        "  --json FILE        write the sweep as JSON (- for stdout)\n"
+        "  --csv FILE         write per-epoch metrics CSV (- for stdout)\n"
+        "  --summary-csv FILE write per-run aggregate CSV (- for stdout)\n"
+        "  --no-thermal       skip stack-temperature solves\n"
+        "  --table3           print the Table-3 projections first\n"
+        "  --quiet            suppress the aggregate table\n");
+}
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+struct CliArgs {
+    int jobs = 0;
+    std::uint64_t instr = 0;
+    archsim::Cycle epoch = 20000;
+    std::string configs, workloads;
+    std::string jsonPath, csvPath, summaryPath;
+    bool thermal = true;
+    bool table3 = false;
+    bool quiet = false;
+    bool help = false;
+    bool ok = true;
+};
+
+CliArgs
+parseArgs(int argc, char **argv)
+{
+    CliArgs a;
+    auto value = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "cactid-study: %s needs a value\n",
+                         flag);
+            a.ok = false;
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc && a.ok; ++i) {
+        const char *arg = argv[i];
+        const char *v = nullptr;
+        if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h"))
+            a.help = true;
+        else if (!std::strcmp(arg, "--jobs"))
+            a.jobs = (v = value(i, arg)) ? std::atoi(v) : 0;
+        else if (!std::strcmp(arg, "--instr"))
+            a.instr = (v = value(i, arg))
+                          ? std::strtoull(v, nullptr, 10)
+                          : 0;
+        else if (!std::strcmp(arg, "--epoch"))
+            a.epoch = (v = value(i, arg))
+                          ? std::strtoull(v, nullptr, 10)
+                          : 0;
+        else if (!std::strcmp(arg, "--configs"))
+            a.configs = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--workloads"))
+            a.workloads = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--json"))
+            a.jsonPath = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--csv"))
+            a.csvPath = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--summary-csv"))
+            a.summaryPath = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--no-thermal"))
+            a.thermal = false;
+        else if (!std::strcmp(arg, "--table3"))
+            a.table3 = true;
+        else if (!std::strcmp(arg, "--quiet"))
+            a.quiet = true;
+        else {
+            std::fprintf(stderr, "cactid-study: unknown flag %s\n",
+                         arg);
+            a.ok = false;
+        }
+    }
+    return a;
+}
+
+/** Write to FILE, or to stdout when the path is "-". */
+bool
+withStream(const std::string &path,
+           const std::function<void(std::ostream &)> &fn)
+{
+    if (path == "-") {
+        fn(std::cout);
+        return true;
+    }
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "cactid-study: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    fn(f);
+    return true;
+}
+
+void
+printAggregates(const std::vector<RunResult> &runs, bool thermal)
+{
+    std::printf("%-6s %-11s %8s %6s %12s %9s %9s",
+                "app", "config", "cycles", "IPC", "read-lat(cyc)",
+                "mh-pwr(W)", "EDP-norm");
+    if (thermal)
+        std::printf(" %9s", "Tmax(K)");
+    std::printf("\n");
+    std::string last_workload;
+    double edp_base = 0.0;
+    for (const RunResult &r : runs) {
+        if (r.workload != last_workload && !last_workload.empty())
+            std::printf("\n");
+        if (r.workload != last_workload)
+            edp_base = 0.0;
+        last_workload = r.workload;
+        if (r.config == "nol3")
+            edp_base = r.power.edp();
+        std::printf("%-6s %-11s %8llu %6.2f %12.1f %9.2f %9.3f",
+                    r.workload.c_str(), r.config.c_str(),
+                    static_cast<unsigned long long>(r.stats.cycles),
+                    r.stats.ipc, r.stats.avgReadLatency,
+                    r.power.memoryHierarchy(),
+                    edp_base > 0 ? r.power.edp() / edp_base : 0.0);
+        if (thermal)
+            std::printf(" %9.2f", r.thermal.maxTemp);
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args = parseArgs(argc, argv);
+    if (!args.ok)
+        return 1;
+    if (args.help) {
+        printHelp();
+        return 0;
+    }
+
+    try {
+        Study study;
+        if (args.table3)
+            study.printTable3(std::cout);
+
+        RunnerOptions opts;
+        opts.jobs = args.jobs;
+        opts.instrPerThread = args.instr;
+        opts.epochCycles = args.epoch;
+        opts.thermal = args.thermal;
+        opts.configs = splitList(args.configs);
+        opts.workloads = splitList(args.workloads);
+        const StudyRunner runner(study, opts);
+
+        const std::vector<RunResult> runs = runner.runAll();
+
+        if (!args.quiet)
+            printAggregates(runs, args.thermal);
+
+        bool io_ok = true;
+        if (!args.jsonPath.empty())
+            io_ok &= withStream(args.jsonPath, [&](std::ostream &os) {
+                exportJson(os, runs, runner);
+            });
+        if (!args.csvPath.empty())
+            io_ok &= withStream(args.csvPath, [&](std::ostream &os) {
+                exportEpochsCsv(os, runs);
+            });
+        if (!args.summaryPath.empty())
+            io_ok &=
+                withStream(args.summaryPath, [&](std::ostream &os) {
+                    exportSummaryCsv(os, runs);
+                });
+        return io_ok ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cactid-study: %s\n", e.what());
+        return 1;
+    }
+}
