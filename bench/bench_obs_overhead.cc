@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tracing-overhead guard: times the same simulation with and without
+ * an attached event ring and reports the ratio.  The observability
+ * contract is "traced <= 1.15x untraced"; in a build configured with
+ * -DCACTID_OBS_TRACING=OFF the hooks compile away entirely, so the
+ * ratio collapses to measurement noise.
+ *
+ * Usage: bench_obs_overhead [instr_per_thread] [reps] [--check]
+ *        (defaults: 20000 instructions, 5 reps; with --check the
+ *        process exits nonzero when the bound is exceeded)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "obs/build_info.hh"
+#include "sim/runner.hh"
+
+namespace {
+
+using namespace archsim;
+
+/** One full simulation; returns wall seconds. */
+double
+runOnce(const Study &study, std::uint64_t instr, bool traced,
+        std::uint64_t &events)
+{
+    const HierarchyParams hp = study.hierarchyFor("cm_dram_ed");
+    System sys(hp, study.scaledWorkload(npbWorkload("ft.B")), instr);
+    obs::TraceBuffer buf(1 << 16);
+    if (traced)
+        sys.setTrace(&buf);
+
+    const auto start = std::chrono::steady_clock::now();
+    sys.run();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    events = buf.size() + buf.dropped();
+    return secs;
+}
+
+/** Minimum over @p reps runs — robust against scheduling noise. */
+double
+best(const Study &study, std::uint64_t instr, bool traced, int reps,
+     std::uint64_t &events)
+{
+    double m = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < reps; ++i) {
+        double s = runOnce(study, instr, traced, events);
+        if (s < m)
+            m = s;
+    }
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t instr = 20000;
+    int reps = 5;
+    bool check = false;
+    int pos = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--check"))
+            check = true;
+        else if (pos == 0)
+            instr = std::strtoull(argv[i], nullptr, 10), ++pos;
+        else
+            reps = std::atoi(argv[i]), ++pos;
+    }
+
+    std::printf("=== event-tracing overhead (%s) ===\n",
+                cactid::obs::versionLine("bench_obs_overhead").c_str());
+
+    Study study;
+    std::uint64_t traced_events = 0, untraced_events = 0;
+    // Warm up caches/allocator before the timed minimums.
+    (void)runOnce(study, instr, false, untraced_events);
+
+    const double off =
+        best(study, instr, false, reps, untraced_events);
+    const double on = best(study, instr, true, reps, traced_events);
+    const double ratio = off > 0 ? on / off : 1.0;
+
+    std::printf("untraced: %8.3f ms (min of %d)\n", off * 1e3, reps);
+    std::printf("traced:   %8.3f ms (min of %d, %llu events)\n",
+                on * 1e3, reps,
+                static_cast<unsigned long long>(traced_events));
+    std::printf("ratio:    %8.3f (bound 1.15)\n", ratio);
+    if (!cactid::obs::buildInfo().tracingCompiled)
+        std::printf("tracing compiled out: hooks are zero-cost\n");
+
+    if (check && ratio > 1.15) {
+        std::fprintf(stderr,
+                     "bench_obs_overhead: ratio %.3f exceeds 1.15\n",
+                     ratio);
+        return 1;
+    }
+    return 0;
+}

@@ -19,6 +19,8 @@
 
 #include "core/optimizer.hh"
 #include "core/solver.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace cactid {
 
@@ -96,6 +98,7 @@ SolveResult
 SolverEngine::run(const Technology &t, const MemoryConfig &cfg,
                   EngineStats *stats) const
 {
+    OBS_PROFILE_SCOPE("solver.run");
     const auto t_total = Clock::now();
 
     SolveResult res;
@@ -108,11 +111,14 @@ SolverEngine::run(const Technology &t, const MemoryConfig &cfg,
     const auto t_setup = Clock::now();
     const CandidateEvaluator eval(t, cfg);
     std::vector<Partition> candidates;
-    forEachPartition(eval.spec().sizeBits, eval.spec().outputBits,
-                     eval.spec().tech, PartitionLimits{},
-                     [&](const Partition &p) {
-                         candidates.push_back(p);
-                     });
+    {
+        OBS_PROFILE_SCOPE("solver.enumerate");
+        forEachPartition(eval.spec().sizeBits, eval.spec().outputBits,
+                         eval.spec().tech, PartitionLimits{},
+                         [&](const Partition &p) {
+                             candidates.push_back(p);
+                         });
+    }
     st.partitionsEnumerated = candidates.size();
     st.setupSeconds = secondsSince(t_setup);
 
@@ -125,6 +131,7 @@ SolverEngine::run(const Technology &t, const MemoryConfig &cfg,
         std::min(static_cast<std::size_t>(st.jobsUsed),
                  std::max<std::size_t>(candidates.size(), 1)));
     if (jobs <= 1) {
+        OBS_PROFILE_SCOPE("solver.evaluate");
         for (const Partition &p : candidates) {
             if (auto s = eval(p))
                 fold(std::move(*s));
@@ -132,6 +139,7 @@ SolverEngine::run(const Technology &t, const MemoryConfig &cfg,
                 ++st.partitionsInfeasible;
         }
     } else {
+        OBS_PROFILE_SCOPE("solver.evaluate");
         const std::size_t n = candidates.size();
         std::vector<std::optional<Solution>> slots(n);
         std::vector<char> done(n, 0);
@@ -140,6 +148,7 @@ SolverEngine::run(const Technology &t, const MemoryConfig &cfg,
         std::atomic<std::size_t> next{0};
 
         auto worker = [&] {
+            OBS_PROFILE_SCOPE("solver.worker");
             for (std::size_t i = next.fetch_add(1); i < n;
                  i = next.fetch_add(1)) {
                 std::optional<Solution> s = eval(candidates[i]);
@@ -185,6 +194,7 @@ SolverEngine::run(const Technology &t, const MemoryConfig &cfg,
     // converges to the true best), so only the access-time pass and
     // the objective remain.
     const auto t_filter = Clock::now();
+    OBS_PROFILE_SCOPE("solver.filter");
     std::vector<Solution> live = fold.take();
     st.timePruned = filterByAccessTime(live, cfg.maxAccTimeConstraint);
     res.best = selectBest(live, cfg.weights);
@@ -222,6 +232,22 @@ EngineStats::report() const
        << filterSeconds * 1e3 << " ms, total " << totalSeconds * 1e3
        << " ms\n";
     return os.str();
+}
+
+void
+registerEngineStats(obs::Registry &r, const EngineStats &s)
+{
+    r.counter("solver.partitions_enumerated") = s.partitionsEnumerated;
+    r.counter("solver.partitions_infeasible") = s.partitionsInfeasible;
+    r.counter("solver.solutions_built") = s.solutionsBuilt;
+    r.counter("solver.area_pruned") = s.areaPruned;
+    r.counter("solver.time_pruned") = s.timePruned;
+    r.counter("solver.peak_live_solutions") = s.peakLiveSolutions;
+    r.counter("solver.jobs_used") = std::uint64_t(s.jobsUsed);
+    r.gauge("solver.setup_seconds") = s.setupSeconds;
+    r.gauge("solver.evaluate_seconds") = s.evaluateSeconds;
+    r.gauge("solver.filter_seconds") = s.filterSeconds;
+    r.gauge("solver.total_seconds") = s.totalSeconds;
 }
 
 } // namespace cactid

@@ -15,6 +15,10 @@
 
 namespace cactid {
 
+namespace obs {
+class Registry;
+}
+
 /**
  * What happened during one solve.  The counters obey the identity
  *
@@ -49,6 +53,12 @@ struct EngineStats {
     /** Multi-line human-readable report (for cactid --stats). */
     std::string report() const;
 };
+
+/**
+ * Publish the stats under the registry's solver.* namespace (counters
+ * for the pipeline identities, gauges for the per-stage wall times).
+ */
+void registerEngineStats(obs::Registry &r, const EngineStats &s);
 
 } // namespace cactid
 

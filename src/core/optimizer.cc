@@ -9,6 +9,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hh"
+
 namespace cactid {
 
 namespace {
@@ -37,6 +39,7 @@ term(double weight, double value, double best)
 std::size_t
 filterByArea(std::vector<Solution> &sols, double slack)
 {
+    OBS_PROFILE_SCOPE("optimizer.filterByArea");
     if (sols.empty())
         return 0;
     const double best =
@@ -50,6 +53,7 @@ filterByArea(std::vector<Solution> &sols, double slack)
 std::size_t
 filterByAccessTime(std::vector<Solution> &sols, double slack)
 {
+    OBS_PROFILE_SCOPE("optimizer.filterByAccessTime");
     if (sols.empty())
         return 0;
     const double best =
@@ -99,6 +103,7 @@ objectiveValue(const Solution &s, const OptimizationWeights &w,
 Solution
 selectBest(std::vector<Solution> &sols, const OptimizationWeights &w)
 {
+    OBS_PROFILE_SCOPE("optimizer.selectBest");
     if (sols.empty())
         throw std::runtime_error("selectBest: empty solution set");
     const ObjectiveScales sc = objectiveScales(sols);

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Trace export implementation.
+ */
+
+#include "obs/export.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <tuple>
+
+#include "obs/build_info.hh"
+#include "obs/numfmt.hh"
+
+namespace cactid::obs {
+
+namespace {
+
+/** strcmp-ordering for possibly-equal string-literal pointers. */
+int
+scmp(const char *a, const char *b)
+{
+    if (a == b)
+        return 0;
+    return std::strcmp(a ? a : "", b ? b : "");
+}
+
+} // namespace
+
+void
+canonicalizeTrace(std::vector<TraceEvent> &events)
+{
+    std::stable_sort(
+        events.begin(), events.end(),
+        [](const TraceEvent &a, const TraceEvent &b) {
+            if (a.pid != b.pid)
+                return a.pid < b.pid;
+            if (a.ts != b.ts)
+                return a.ts < b.ts;
+            if (a.tid != b.tid)
+                return a.tid < b.tid;
+            if (const int c = scmp(a.name, b.name))
+                return c < 0;
+            if (a.ph != b.ph)
+                return a.ph < b.ph;
+            if (a.dur != b.dur)
+                return a.dur < b.dur;
+            return a.argValue < b.argValue;
+        });
+}
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceEvent> &events,
+                 const TraceMeta &meta)
+{
+    os << "{\n\"schema\": \"cactid-trace-v1\",\n\"build\": ";
+    writeBuildInfoJson(os);
+    os << ",\n\"displayTimeUnit\": \"ns\",\n\"otherData\": "
+          "{\"clock_domain\": \""
+       << jsonEscape(meta.clockDomain)
+       << "\", \"dropped_events\": " << meta.dropped << "},\n";
+    os << "\"traceEvents\": [";
+
+    bool first = true;
+    const auto sep = [&] {
+        os << (first ? "\n" : ",\n");
+        first = false;
+    };
+
+    for (const auto &[pid, name] : meta.processes) {
+        sep();
+        os << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+           << pid << ", \"tid\": 0, \"args\": {\"name\": \""
+           << jsonEscape(name) << "\"}}";
+        sep();
+        os << " {\"name\": \"process_sort_index\", \"ph\": \"M\", "
+              "\"pid\": "
+           << pid << ", \"tid\": 0, \"args\": {\"sort_index\": " << pid
+           << "}}";
+    }
+
+    for (const TraceEvent &e : events) {
+        sep();
+        os << " {\"name\": \"" << jsonEscape(e.name) << "\", \"cat\": \""
+           << jsonEscape(e.cat) << "\", \"ph\": \"" << e.ph
+           << "\", \"ts\": " << e.ts;
+        if (e.ph == 'X')
+            os << ", \"dur\": " << e.dur;
+        os << ", \"pid\": " << e.pid << ", \"tid\": " << e.tid;
+        if (e.ph == 'i')
+            os << ", \"s\": \"t\"";
+        if (e.argName || e.argStrName) {
+            os << ", \"args\": {";
+            if (e.argName) {
+                os << "\"" << jsonEscape(e.argName)
+                   << "\": " << e.argValue;
+            }
+            if (e.argStrName) {
+                os << (e.argName ? ", " : "") << "\""
+                   << jsonEscape(e.argStrName) << "\": \""
+                   << jsonEscape(e.argStr ? e.argStr : "") << "\"";
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << (first ? "]\n" : "\n]\n") << "}\n";
+}
+
+void
+writeProfileSummary(std::ostream &os,
+                    const std::vector<TraceEvent> &events)
+{
+    struct Agg {
+        std::uint64_t count = 0;
+        std::uint64_t total = 0;
+        std::uint64_t max = 0;
+    };
+    std::map<std::string, Agg> by_name;
+    for (const TraceEvent &e : events) {
+        if (e.ph != 'X')
+            continue;
+        Agg &a = by_name[e.name];
+        ++a.count;
+        a.total += e.dur;
+        a.max = std::max(a.max, e.dur);
+    }
+
+    std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                  by_name.end());
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second.total > b.second.total;
+                     });
+
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-32s %8s %12s %12s %12s\n",
+                  "span", "count", "total(ms)", "mean(us)", "max(us)");
+    os << line;
+    for (const auto &[name, a] : rows) {
+        std::snprintf(line, sizeof(line),
+                      "%-32s %8llu %12.3f %12.1f %12llu\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(a.count),
+                      double(a.total) / 1e3,
+                      a.count ? double(a.total) / double(a.count) : 0.0,
+                      static_cast<unsigned long long>(a.max));
+        os << line;
+    }
+}
+
+} // namespace cactid::obs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trace serialization: canonical event ordering, the Chrome
+ * trace-event / Perfetto JSON writer ("cactid-trace-v1"), and the
+ * aggregated profiling-span summary behind --profile.
+ *
+ * Load an exported file directly in https://ui.perfetto.dev or
+ * chrome://tracing.  Timestamps are written in the clock domain the
+ * events were recorded in (simulated CPU cycles for simulator traces,
+ * wall-clock microseconds for profiling traces); the domain is named
+ * in otherData.clock_domain.
+ */
+
+#ifndef CACTID_OBS_EXPORT_HH
+#define CACTID_OBS_EXPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace cactid::obs {
+
+/** Export-time metadata accompanying the event stream. */
+struct TraceMeta {
+    /** Human labels per logical pid (study: "workload/config"). */
+    std::vector<std::pair<std::uint32_t, std::string>> processes;
+    /** "cycles" (simulated) or "us" (wall clock). */
+    std::string clockDomain = "cycles";
+    /** Events lost to ring-buffer overwrite, summed over sources. */
+    std::uint64_t dropped = 0;
+};
+
+/**
+ * Canonical order: (pid, ts, tid, name, ph, dur, argValue), stable.
+ * Two event streams with equal content compare byte-identical after
+ * canonicalization + writeChromeTrace regardless of recording
+ * interleaving.
+ */
+void canonicalizeTrace(std::vector<TraceEvent> &events);
+
+/** Write the canonical Chrome trace-event JSON document. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events,
+                      const TraceMeta &meta);
+
+/**
+ * Aggregate 'X' spans by name (count, total/mean/max duration) and
+ * print a table, longest total first.  Durations are interpreted in
+ * the events' clock domain (µs for Tracer spans).
+ */
+void writeProfileSummary(std::ostream &os,
+                         const std::vector<TraceEvent> &events);
+
+} // namespace cactid::obs
+
+#endif // CACTID_OBS_EXPORT_HH

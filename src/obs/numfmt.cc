@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Numeric formatting implementation.
+ */
+
+#include "obs/numfmt.hh"
+
+#include <clocale>
+#include <cstdio>
+
+namespace cactid::obs {
+
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+
+    // snprintf honours the process-global LC_NUMERIC; undo any
+    // non-"C" decimal separator so output bytes never depend on it.
+    const struct lconv *lc = localeconv();
+    const char sep =
+        lc && lc->decimal_point && lc->decimal_point[0] != '\0'
+            ? lc->decimal_point[0]
+            : '.';
+    if (sep != '.') {
+        for (char *p = buf; *p; ++p) {
+            if (*p == sep)
+                *p = '.';
+        }
+    }
+    return buf;
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char esc[8];
+                std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+                out += esc;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace cactid::obs

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Locale-proof numeric formatting for machine-readable exports.
+ *
+ * Every JSON/CSV emitter in the repo (study exports, the obs registry
+ * dump, the Chrome trace writer) funnels doubles through fmtDouble so
+ * equal values always produce equal bytes: "%.17g" round-trips every
+ * IEEE-754 double exactly, and the decimal separator is forced to '.'
+ * even when the embedding process changed the global C locale.
+ */
+
+#ifndef CACTID_OBS_NUMFMT_HH
+#define CACTID_OBS_NUMFMT_HH
+
+#include <string>
+#include <string_view>
+
+namespace cactid::obs {
+
+/** Round-trip-exact, C-locale "%.17g" rendering of @p v. */
+std::string fmtDouble(double v);
+
+/** JSON string-literal body for @p s (no surrounding quotes). */
+std::string jsonEscape(std::string_view s);
+
+} // namespace cactid::obs
+
+#endif // CACTID_OBS_NUMFMT_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Registry implementation and cactid-obs-v1 serialization.
+ */
+
+#include "obs/registry.hh"
+
+#include <algorithm>
+
+#include "obs/build_info.hh"
+#include "obs/numfmt.hh"
+
+namespace cactid::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+{
+}
+
+void
+Histogram::observe(double v)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++total_;
+    sum_ += v;
+}
+
+std::uint64_t &
+Registry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+double &
+Registry::gauge(const std::string &name)
+{
+    return gauges_[name];
+}
+
+Histogram &
+Registry::histogram(const std::string &name, std::vector<double> bounds)
+{
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end())
+        return it->second;
+    return histograms_.emplace(name, Histogram(std::move(bounds)))
+        .first->second;
+}
+
+bool
+Registry::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+std::uint64_t
+Registry::counterValue(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+namespace {
+
+std::string
+pad(int indent)
+{
+    return std::string(static_cast<std::size_t>(indent), ' ');
+}
+
+} // namespace
+
+void
+Registry::writeJsonObject(std::ostream &os, int indent) const
+{
+    const std::string p = pad(indent);
+    const std::string q = pad(indent + 2);
+    os << "{\n" << q << "\"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        os << (first ? "" : ",") << "\n"
+           << q << "  \"" << jsonEscape(name) << "\": " << value;
+        first = false;
+    }
+    os << (counters_.empty() ? "}" : "\n" + q + "}");
+
+    os << ",\n" << q << "\"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges_) {
+        os << (first ? "" : ",") << "\n"
+           << q << "  \"" << jsonEscape(name)
+           << "\": " << fmtDouble(value);
+        first = false;
+    }
+    os << (gauges_.empty() ? "}" : "\n" + q + "}");
+
+    os << ",\n" << q << "\"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        os << (first ? "" : ",") << "\n"
+           << q << "  \"" << jsonEscape(name) << "\": {\"bounds\": [";
+        for (std::size_t i = 0; i < h.bounds().size(); ++i)
+            os << (i ? ", " : "") << fmtDouble(h.bounds()[i]);
+        os << "], \"counts\": [";
+        for (std::size_t i = 0; i < h.counts().size(); ++i)
+            os << (i ? ", " : "") << h.counts()[i];
+        os << "], \"total\": " << h.total()
+           << ", \"sum\": " << fmtDouble(h.sum()) << "}";
+        first = false;
+    }
+    os << (histograms_.empty() ? "}" : "\n" + q + "}");
+    os << "\n" << p << "}";
+}
+
+void
+writeRegistryDump(
+    std::ostream &os,
+    const std::vector<std::pair<std::string, const Registry *>> &items)
+{
+    os << "{\n  \"schema\": \"cactid-obs-v1\",\n  \"build\": ";
+    writeBuildInfoJson(os);
+    os << ",\n  \"registries\": [";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        os << (i ? ",\n    {" : "\n    {") << "\"label\": \""
+           << jsonEscape(items[i].first) << "\", \"registry\": ";
+        items[i].second->writeJsonObject(os, 5);
+        os << "}";
+    }
+    os << (items.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+} // namespace cactid::obs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Typed counter / gauge / histogram registry with a stable JSON dump
+ * schema ("cactid-obs-v1").
+ *
+ * The registry unifies every counter family in the repo behind
+ * dot-separated names:
+ *
+ *   solver.*   SolverEngine instrumentation (EngineStats)
+ *   sim.*      simulator totals (SimStats: hierarchy, LLC, DRAM)
+ *   activity.* raw interval activity (ActivityCounts)
+ *   power.*    power-model outputs (gauges, W)
+ *
+ * Names sort lexicographically in the dump (std::map), so two dumps of
+ * equal state are byte-identical — the same determinism contract the
+ * study exports follow.
+ */
+
+#ifndef CACTID_OBS_REGISTRY_HH
+#define CACTID_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cactid::obs {
+
+/** Fixed-bound histogram: counts[i] holds values <= bounds[i]. */
+class Histogram {
+public:
+    Histogram() = default;
+    explicit Histogram(std::vector<double> bounds);
+
+    /** Record one value (overflow lands in the implicit +inf bucket). */
+    void observe(double v);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+    /** bounds().size() + 1 buckets; the last is the overflow bucket. */
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+    std::uint64_t total() const { return total_; }
+    double sum() const { return sum_; }
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/** The typed metric registry. */
+class Registry {
+public:
+    /** Named monotonic integer counter (created at zero). */
+    std::uint64_t &counter(const std::string &name);
+
+    /** Named double-valued gauge (created at zero). */
+    double &gauge(const std::string &name);
+
+    /** Named histogram; @p bounds is used only on first creation. */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds = {});
+
+    // --- Read-only access (tests, exporters).
+    bool hasCounter(const std::string &name) const;
+    std::uint64_t counterValue(const std::string &name) const;
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double> &gauges() const
+    {
+        return gauges_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /**
+     * This registry as a JSON object (sorted keys, fmtDouble doubles;
+     * no schema header — see writeRegistryDump).
+     */
+    void writeJsonObject(std::ostream &os, int indent = 0) const;
+
+private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+/**
+ * Full "cactid-obs-v1" document: build header plus one labelled
+ * registry object per entry.
+ */
+void writeRegistryDump(
+    std::ostream &os,
+    const std::vector<std::pair<std::string, const Registry *>> &items);
+
+} // namespace cactid::obs
+
+#endif // CACTID_OBS_REGISTRY_HH

@@ -9,6 +9,44 @@
 
 namespace archsim {
 
+namespace {
+
+[[maybe_unused]] const char *
+stateName(CState s)
+{
+    switch (s) {
+      case CState::Modified:
+        return "M";
+      case CState::Exclusive:
+        return "E";
+      case CState::Shared:
+        return "S";
+      case CState::Invalid:
+        return "I";
+    }
+    return "?";
+}
+
+[[maybe_unused]] const char *
+servedName(ServedBy s)
+{
+    switch (s) {
+      case ServedBy::L1:
+        return "req.l1";
+      case ServedBy::L2:
+        return "req.l2";
+      case ServedBy::RemoteL2:
+        return "req.remote_l2";
+      case ServedBy::L3:
+        return "req.l3";
+      case ServedBy::Memory:
+        return "req.mem";
+    }
+    return "req";
+}
+
+} // namespace
+
 CacheHierarchy::CacheHierarchy(const HierarchyParams &p)
     : p_(p), mem_(p.dram)
 {
@@ -78,6 +116,12 @@ CacheHierarchy::fetchFromBeyondL2(int core, Addr line, bool write,
                 // on a read in this forwarding implementation (M -> I
                 // with the L3/memory copy refreshed).
                 if (write || dirty_owner == o) {
+                    OBS_EVENT(trace_, .name = "mesi.inval",
+                              .cat = "mesi", .ph = 'i', .ts = now,
+                              .tid = std::uint32_t(o),
+                              .argName = "line", .argValue = line,
+                              .argStrName = "from",
+                              .argStr = stateName(l->state));
                     l2_[o].invalidate(line);
                     l1i_[o].invalidate(line);
                     l1d_[o].invalidate(line);
@@ -86,6 +130,14 @@ CacheHierarchy::fetchFromBeyondL2(int core, Addr line, bool write,
                 // Downgrade to Shared -- including the L1 copies, or a
                 // stale Exclusive L1 line would later accept a silent
                 // store alongside the new sharers.
+                if (l->state != CState::Shared) {
+                    OBS_EVENT(trace_, .name = "mesi.downgrade",
+                              .cat = "mesi", .ph = 'i', .ts = now,
+                              .tid = std::uint32_t(o),
+                              .argName = "line", .argValue = line,
+                              .argStrName = "from",
+                              .argStr = stateName(l->state));
+                }
                 l->state = CState::Shared;
                 if (SetAssocCache::Line *d = l1d_[o].probe(line))
                     d->state = CState::Shared;
@@ -99,6 +151,9 @@ CacheHierarchy::fetchFromBeyondL2(int core, Addr line, bool write,
     if (dirty_owner >= 0) {
         // Cache-to-cache forward through the crossbar, refreshing the
         // L3 copy on the way.
+        OBS_EVENT(trace_, .name = "mesi.c2c", .cat = "mesi", .ph = 'i',
+                  .ts = now, .tid = std::uint32_t(dirty_owner),
+                  .argName = "line", .argValue = line);
         ++counters_.c2cTransfers;
         counters_.xbarTransfers += 2;
         ++counters_.l2Reads; // remote array read
@@ -213,6 +268,10 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
             return r;
         }
         // Write upgrade: invalidate the other sharers (crossbar round).
+        OBS_EVENT(trace_, .name = "mesi.upgrade", .cat = "mesi",
+                  .ph = 'i', .ts = now, .tid = std::uint32_t(core),
+                  .argName = "line", .argValue = line,
+                  .argStrName = "from", .argStr = stateName(l->state));
         for (int o = 0; o < p_.nCores; ++o) {
             if (o == core)
                 continue;
@@ -236,6 +295,12 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
            now);
     r.latency = p_.l1Cycles + p_.l2Cycles + beyond;
     r.servedBy = served;
+    // Start/complete record of every request that left the private
+    // levels (L1/L2 hits are too hot to trace individually).
+    OBS_EVENT(trace_, .name = servedName(served), .cat = "mem",
+              .ph = 'X', .ts = now, .dur = r.latency,
+              .tid = std::uint32_t(core), .argName = "line",
+              .argValue = line);
     return r;
 }
 

@@ -99,6 +99,17 @@ class CacheHierarchy
     const Llc *llc() const { return llc_.get(); }
     const HierarchyParams &params() const { return p_; }
 
+    /**
+     * Attach an event trace ring (simulated-cycle clock domain);
+     * forwards to the DRAM model.  nullptr detaches.
+     */
+    void
+    setTrace(obs::TraceBuffer *trace)
+    {
+        trace_ = trace;
+        mem_.setTrace(trace);
+    }
+
   private:
     /** Fetch a line into the shared levels; returns added latency. */
     Cycle fetchFromBeyondL2(int core, Addr line, bool write, Cycle now,
@@ -119,6 +130,7 @@ class CacheHierarchy
     std::unique_ptr<Llc> llc_;
     MemorySystem mem_;
     HierCounters counters_;
+    obs::TraceBuffer *trace_ = nullptr;
 };
 
 } // namespace archsim

@@ -8,7 +8,12 @@
 
 #include <cstdint>
 
+#include "obs/trace.hh"
+
 namespace archsim {
+
+/** The shared observability subsystem (tracer, registry, exporters). */
+namespace obs = ::cactid::obs;
 
 using Addr = std::uint64_t;   ///< physical byte address
 using Cycle = std::uint64_t;  ///< CPU clock cycles (2 GHz in the study)

@@ -29,6 +29,10 @@ SyncState::maybeRelease(Cycle now)
             continue;
         t->waitingBarrier = false;
         t->stats.barrier += now + 1 - t->blockedSince;
+        OBS_EVENT(trace_, .name = "stall.barrier", .cat = "sync",
+                  .ph = 'X', .ts = t->blockedSince,
+                  .dur = now + 1 - t->blockedSince,
+                  .tid = std::uint32_t(t->id));
         t->readyAt = now + 1;
     }
     arrived_ = 0;
@@ -79,6 +83,10 @@ SyncState::releaseLock(Cycle now)
     lockQueue_.pop_front();
     next->waitingLock = false;
     next->stats.lock += now + 1 - next->blockedSince;
+    OBS_EVENT(trace_, .name = "stall.lock", .cat = "sync", .ph = 'X',
+              .ts = next->blockedSince,
+              .dur = now + 1 - next->blockedSince,
+              .tid = std::uint32_t(next->id));
     next->readyAt = now + 1;
     holder_ = next; // the lock passes to the woken thread
 }

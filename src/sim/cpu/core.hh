@@ -90,9 +90,13 @@ class SyncState
     /** Release the lock and wake the next waiter. */
     void releaseLock(Cycle now);
 
+    /** Attach a stall-interval trace ring (simulated cycles). */
+    void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
+
   private:
     void maybeRelease(Cycle now);
 
+    obs::TraceBuffer *trace_ = nullptr;
     std::vector<Thread *> threads_;
     int arrived_ = 0;
     bool lockHeld_ = false;

@@ -70,6 +70,7 @@ System::System(const HierarchyParams &hp, const TraceFile &trace,
 SimStats
 System::run(EpochRecorder *rec)
 {
+    OBS_PROFILE_SCOPE("sim.run");
     if (rec)
         rec->start(hier_.params());
     const auto total_instructions = [this] {
@@ -108,10 +109,16 @@ System::run(EpochRecorder *rec)
         }
 
         if (rec && rec->due(cycle)) {
+            OBS_EVENT(trace_, .name = "epoch", .cat = "sim", .ph = 'i',
+                      .ts = cycle, .argName = "index",
+                      .argValue = std::uint64_t(rec->samples().size()));
             rec->close(cycle, total_instructions(), hier_.counters(),
                        hier_.llc(), hier_.dramCounters());
         }
     }
+    // One run-spanning slice so Perfetto frames the event stream.
+    OBS_EVENT(trace_, .name = "run", .cat = "sim", .ph = 'X', .ts = 0,
+              .dur = cycle);
 
     SimStats s;
     s.workload = workloadName_;

@@ -83,12 +83,27 @@ class System
 
     CacheHierarchy &hierarchy() { return hier_; }
 
+    /**
+     * Attach an event trace ring before run(): memory requests, MESI
+     * transitions, DRAM commands and sync stalls are recorded with
+     * simulated-cycle timestamps.  The stream is a pure function of
+     * the (deterministic) simulation.
+     */
+    void
+    setTrace(obs::TraceBuffer *trace)
+    {
+        trace_ = trace;
+        hier_.setTrace(trace);
+        sync_->setTrace(trace);
+    }
+
   private:
     CacheHierarchy hier_;
     std::vector<std::unique_ptr<Thread>> threads_;
     std::vector<Core> cores_;
     std::unique_ptr<SyncState> sync_;
     std::string workloadName_;
+    obs::TraceBuffer *trace_ = nullptr;
 };
 
 } // namespace archsim

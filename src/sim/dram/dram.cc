@@ -19,7 +19,8 @@ MemorySystem::MemorySystem(const DramParams &p) : p_(p)
 }
 
 void
-MemorySystem::refreshUpTo(Channel &ch, Cycle t)
+MemorySystem::refreshUpTo(Channel &ch, [[maybe_unused]] int chIdx,
+                          Cycle t)
 {
     if (p_.tRefi == 0)
         return;
@@ -27,6 +28,9 @@ MemorySystem::refreshUpTo(Channel &ch, Cycle t)
         // All-bank refresh: every row closes and the banks are busy
         // until the refresh cycle completes.
         const Cycle done = ch.nextRefresh + p_.tRfc;
+        OBS_EVENT(trace_, .name = "dram.ref", .cat = "dram", .ph = 'X',
+                  .ts = ch.nextRefresh, .dur = p_.tRfc,
+                  .tid = std::uint32_t(chIdx));
         for (Bank &b : ch.banks) {
             b.readyAt = std::max(b.readyAt, done);
             b.openRow = -1;
@@ -42,7 +46,8 @@ MemorySystem::access(Addr addr, bool write, Cycle now)
     // Line-interleaved channel mapping, page-interleaved bank mapping
     // (consecutive pages in different banks for multibank overlap).
     const std::uint64_t line = addr / p_.lineBytes;
-    Channel &ch = channels_[line % p_.nChannels];
+    const int ch_idx = int(line % p_.nChannels);
+    Channel &ch = channels_[ch_idx];
 
     Cycle wake = 0;
     if (p_.powerDown && now > ch.lastUse + p_.powerDownAfter) {
@@ -52,6 +57,8 @@ MemorySystem::access(Addr addr, bool write, Cycle now)
         ++counters_.powerDownEntries;
         counters_.powerDownCycles += now - (ch.lastUse +
                                             p_.powerDownAfter);
+        OBS_EVENT(trace_, .name = "dram.pd_exit", .cat = "dram",
+                  .ph = 'i', .ts = now, .tid = std::uint32_t(ch_idx));
     }
     const std::uint64_t page =
         addr / (p_.pageBytes * std::uint64_t(p_.nChannels));
@@ -59,7 +66,7 @@ MemorySystem::access(Addr addr, bool write, Cycle now)
     const auto row = std::int64_t(page / p_.banksPerChannel);
 
     Cycle t = now + p_.tController + wake;
-    refreshUpTo(ch, t);
+    refreshUpTo(ch, ch_idx, t);
 
     const bool row_hit =
         p_.policy == PagePolicy::Open && bank.openRow == row;
@@ -71,13 +78,22 @@ MemorySystem::access(Addr addr, bool write, Cycle now)
         // then activate, respecting tRC at this bank and tRRD across
         // the rank.
         Cycle act = std::max(t, bank.readyAt);
-        if (p_.policy == PagePolicy::Open && bank.openRow >= 0)
+        if (p_.policy == PagePolicy::Open && bank.openRow >= 0) {
+            OBS_EVENT(trace_, .name = "dram.pre", .cat = "dram",
+                      .ph = 'X', .ts = act, .dur = p_.tRp,
+                      .tid = std::uint32_t(ch_idx), .argName = "row",
+                      .argValue = std::uint64_t(bank.openRow));
             act += p_.tRp;
+        }
         if (ch.everActivated)
             act = std::max(act, ch.lastActivate + p_.tRrd);
         if (bank.everActivated)
             act = std::max(act, bank.lastActivate + p_.tRas + p_.tRp);
         ++counters_.activates;
+        OBS_EVENT(trace_, .name = "dram.act", .cat = "dram", .ph = 'X',
+                  .ts = act, .dur = p_.tRcd,
+                  .tid = std::uint32_t(ch_idx), .argName = "row",
+                  .argValue = std::uint64_t(row));
         bank.lastActivate = act;
         bank.everActivated = true;
         ch.lastActivate = act;
@@ -97,6 +113,11 @@ MemorySystem::access(Addr addr, bool write, Cycle now)
     ch.busFree = data_start + p_.tBurst;
     const Cycle done = data_start + p_.tBurst;
 
+    OBS_EVENT(trace_, .name = write ? "dram.col_wr" : "dram.col_rd",
+              .cat = "dram", .ph = 'X', .ts = data_start,
+              .dur = p_.tBurst, .tid = std::uint32_t(ch_idx),
+              .argName = "row_hit",
+              .argValue = row_hit ? std::uint64_t(1) : 0);
     write ? ++counters_.writes : ++counters_.reads;
     counters_.busBytes += p_.lineBytes;
     ch.lastUse = done;

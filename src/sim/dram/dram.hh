@@ -88,6 +88,9 @@ class MemorySystem
     const DramCounters &counters() const { return counters_; }
     const DramParams &params() const { return p_; }
 
+    /** Attach a command trace ring (simulated-cycle clock domain). */
+    void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
+
   private:
     struct Bank {
         Cycle readyAt = 0;      ///< earliest next ACTIVATE completion base
@@ -106,11 +109,12 @@ class MemorySystem
     };
 
     /** Perform every refresh due by @p t on @p ch (lazy catch-up). */
-    void refreshUpTo(Channel &ch, Cycle t);
+    void refreshUpTo(Channel &ch, int chIdx, Cycle t);
 
     DramParams p_;
     std::vector<Channel> channels_;
     DramCounters counters_;
+    obs::TraceBuffer *trace_ = nullptr;
 };
 
 } // namespace archsim

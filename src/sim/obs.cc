@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Simulator registry adapters.
+ */
+
+#include "sim/obs.hh"
+
+namespace archsim {
+
+void
+registerSimStats(cactid::obs::Registry &r, const SimStats &s)
+{
+    r.counter("sim.cycles") = s.cycles;
+    r.counter("sim.instructions") = s.instructions;
+    r.gauge("sim.ipc") = s.ipc;
+    r.gauge("sim.avg_read_latency_cycles") = s.avgReadLatency;
+
+    const HierCounters &h = s.hier;
+    r.counter("sim.l1.reads") = h.l1Reads;
+    r.counter("sim.l1.writes") = h.l1Writes;
+    r.counter("sim.l2.reads") = h.l2Reads;
+    r.counter("sim.l2.writes") = h.l2Writes;
+    r.counter("sim.l2.demand_misses") = h.l2Misses;
+    r.counter("sim.xbar.transfers") = h.xbarTransfers;
+    r.counter("sim.xbar.c2c_transfers") = h.c2cTransfers;
+
+    r.counter("sim.llc.reads") = s.llcReads;
+    r.counter("sim.llc.writes") = s.llcWrites;
+    r.counter("sim.llc.hits") = s.llcHits;
+    r.counter("sim.llc.misses") = s.llcMisses;
+    r.counter("sim.llc.page_hits") = s.llcPageHits;
+    r.counter("sim.llc.page_misses") = s.llcPageMisses;
+
+    const DramCounters &d = s.dram;
+    r.counter("sim.dram.activates") = d.activates;
+    r.counter("sim.dram.reads") = d.reads;
+    r.counter("sim.dram.writes") = d.writes;
+    r.counter("sim.dram.row_hits") = d.rowHits;
+    r.counter("sim.dram.bus_bytes") = d.busBytes;
+    r.counter("sim.dram.refreshes") = d.refreshes;
+    r.counter("sim.dram.power_down_entries") = d.powerDownEntries;
+    r.counter("sim.dram.power_down_cycles") = d.powerDownCycles;
+    r.gauge("sim.dram.powered_down_fraction") = s.memPoweredDownFraction;
+}
+
+void
+registerActivityCounts(cactid::obs::Registry &r, const ActivityCounts &a)
+{
+    r.counter("activity.cycles") = a.cycles;
+    r.counter("activity.l1.reads") = a.l1Reads;
+    r.counter("activity.l1.writes") = a.l1Writes;
+    r.counter("activity.l2.reads") = a.l2Reads;
+    r.counter("activity.l2.writes") = a.l2Writes;
+    r.counter("activity.xbar.transfers") = a.xbarTransfers;
+    r.counter("activity.llc.reads") = a.llcReads;
+    r.counter("activity.llc.writes") = a.llcWrites;
+    r.counter("activity.dram.activates") = a.dramActivates;
+    r.counter("activity.dram.reads") = a.dramReads;
+    r.counter("activity.dram.writes") = a.dramWrites;
+    r.counter("activity.dram.bus_bytes") = a.dramBusBytes;
+    r.gauge("activity.dram.powered_down_fraction") =
+        a.poweredDownFraction;
+}
+
+void
+registerPowerBreakdown(cactid::obs::Registry &r, const PowerBreakdown &b)
+{
+    r.gauge("power.l1_w") = b.l1Leak + b.l1Dyn;
+    r.gauge("power.l2_w") = b.l2Leak + b.l2Dyn;
+    r.gauge("power.xbar_w") = b.xbarLeak + b.xbarDyn;
+    r.gauge("power.l3_leak_w") = b.l3Leak;
+    r.gauge("power.l3_dyn_w") = b.l3Dyn;
+    r.gauge("power.l3_refresh_w") = b.l3Refresh;
+    r.gauge("power.main_dyn_w") = b.mainDyn;
+    r.gauge("power.main_standby_w") = b.mainStandby;
+    r.gauge("power.main_refresh_w") = b.mainRefresh;
+    r.gauge("power.bus_w") = b.bus;
+    r.gauge("power.memory_hierarchy_w") = b.memoryHierarchy();
+    r.gauge("power.system_w") = b.system();
+    r.gauge("power.edp_js") = b.edp();
+}
+
+} // namespace archsim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Registry adapters for the simulator: publish SimStats /
+ * ActivityCounts / PowerBreakdown under the stable obs naming scheme
+ * (see obs/registry.hh).  The solver-side adapter for EngineStats
+ * lives with the engine (core/engine_stats.hh); together they put
+ * every counter family in the repo behind one dump schema.
+ */
+
+#ifndef ARCHSIM_OBS_HH
+#define ARCHSIM_OBS_HH
+
+#include "obs/registry.hh"
+#include "sim/cpu/system.hh"
+#include "sim/power/power.hh"
+
+namespace archsim {
+
+/** sim.* counters and gauges from one run's aggregate statistics. */
+void registerSimStats(cactid::obs::Registry &r, const SimStats &s);
+
+/** activity.* counters from one interval's raw activity. */
+void registerActivityCounts(cactid::obs::Registry &r,
+                            const ActivityCounts &a);
+
+/** power.* gauges (W) from a computed power breakdown. */
+void registerPowerBreakdown(cactid::obs::Registry &r,
+                            const PowerBreakdown &b);
+
+} // namespace archsim
+
+#endif // ARCHSIM_OBS_HH

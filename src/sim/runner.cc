@@ -7,23 +7,26 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "obs/build_info.hh"
+#include "obs/export.hh"
+#include "obs/numfmt.hh"
+#include "obs/registry.hh"
+#include "sim/obs.hh"
+
 namespace archsim {
 
 namespace {
 
-/** Round-trip-exact double: equal values print equal bytes. */
+/** Round-trip-exact, locale-proof double (shared obs helper). */
 std::string
 num(double v)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
+    return cactid::obs::fmtDouble(v);
 }
 
 std::string
@@ -79,6 +82,7 @@ RunResult
 StudyRunner::execute(const std::string &config,
                      const WorkloadParams &w) const
 {
+    OBS_PROFILE_SCOPE("runner.execute");
     HierarchyParams hp = study_->hierarchyFor(config);
     if (opts_.tweakHierarchy)
         opts_.tweakHierarchy(config, hp);
@@ -88,12 +92,21 @@ StudyRunner::execute(const std::string &config,
     RunResult r;
     r.config = config;
     r.workload = w.name;
+    // The per-run ring records simulated-cycle events; each run is
+    // single-threaded, so the stream is jobs-independent.
+    obs::TraceBuffer trace(opts_.trace ? opts_.traceCapacity : 0);
+    if (opts_.trace)
+        sys.setTrace(&trace);
     if (opts_.epochCycles > 0) {
         EpochRecorder rec(opts_.epochCycles);
         r.stats = sys.run(&rec);
         r.epochs = rec.take();
     } else {
         r.stats = sys.run();
+    }
+    if (opts_.trace) {
+        r.traceDropped = trace.dropped(); // take() resets the count
+        r.trace = trace.take();
     }
     r.stats.config = config;
 
@@ -193,6 +206,9 @@ exportJson(std::ostream &os, const std::vector<RunResult> &runs,
 {
     os << "{\n";
     os << "  \"schema\": \"cactid-study-v1\",\n";
+    os << "  \"build\": ";
+    cactid::obs::writeBuildInfoJson(os);
+    os << ",\n";
     os << "  \"instr_per_thread\": " << runner.instrPerThread() << ",\n";
     os << "  \"epoch_cycles\": " << runner.options().epochCycles
        << ",\n";
@@ -281,6 +297,45 @@ exportEpochsCsv(std::ostream &os, const std::vector<RunResult> &runs)
                << '\n';
         }
     }
+}
+
+void
+exportTraceJson(std::ostream &os, const std::vector<RunResult> &runs,
+                const StudyRunner &runner)
+{
+    (void)runner;
+    cactid::obs::TraceMeta meta;
+    std::vector<cactid::obs::TraceEvent> events;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunResult &r = runs[i];
+        const auto pid = static_cast<std::uint32_t>(i);
+        meta.processes.emplace_back(pid, r.workload + "/" + r.config);
+        meta.dropped += r.traceDropped;
+        for (cactid::obs::TraceEvent e : r.trace) {
+            e.pid = pid;
+            events.push_back(e);
+        }
+    }
+    meta.clockDomain = "cycles";
+    cactid::obs::canonicalizeTrace(events);
+    cactid::obs::writeChromeTrace(os, events, meta);
+}
+
+void
+exportRegistry(std::ostream &os, const std::vector<RunResult> &runs,
+               const StudyRunner &runner)
+{
+    (void)runner;
+    std::vector<cactid::obs::Registry> regs(runs.size());
+    std::vector<std::pair<std::string, const cactid::obs::Registry *>>
+        items;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunResult &r = runs[i];
+        registerSimStats(regs[i], r.stats);
+        registerPowerBreakdown(regs[i], r.power);
+        items.emplace_back(r.workload + "/" + r.config, &regs[i]);
+    }
+    cactid::obs::writeRegistryDump(os, items);
 }
 
 void

@@ -52,6 +52,17 @@ struct RunnerOptions {
     bool thermal = true;
     ThermalParams thermalParams;
 
+    /**
+     * Record simulator events (memory requests, MESI transitions,
+     * DRAM commands, sync stalls) into a per-run ring buffer with
+     * simulated-cycle timestamps.  Each run is single-threaded and
+     * deterministic, so the recorded stream is independent of `jobs`.
+     */
+    bool trace = false;
+
+    /** Per-run ring capacity in events; oldest events are dropped. */
+    std::size_t traceCapacity = 1 << 14;
+
     /** Subset of configurations to run; empty = all six. */
     std::vector<std::string> configs;
 
@@ -75,6 +86,10 @@ struct RunResult {
     PowerBreakdown power;
     ThermalResult thermal;
     std::vector<EpochSample> epochs;
+
+    /** Event stream (simulated-cycle clock) when tracing was on. */
+    std::vector<obs::TraceEvent> trace;
+    std::size_t traceDropped = 0; ///< events lost to the ring bound
 };
 
 /** The parallel study sweep driver. */
@@ -138,6 +153,26 @@ void exportEpochsCsv(std::ostream &os,
 /** One CSV row per (config, workload) with the final aggregates. */
 void exportSummaryCsv(std::ostream &os,
                       const std::vector<RunResult> &runs);
+
+/**
+ * Export the per-run event streams as one Chrome trace-event JSON
+ * document (schema "cactid-trace-v1"; loads in Perfetto / chrome://
+ * tracing).  Each run becomes a trace "process" named
+ * "workload/config" with pid = enumeration index; timestamps are
+ * simulated cycles.  Events are canonically sorted, so the bytes are
+ * identical for any `jobs` setting.
+ */
+void exportTraceJson(std::ostream &os,
+                     const std::vector<RunResult> &runs,
+                     const StudyRunner &runner);
+
+/**
+ * Dump every run's counters as one "cactid-obs-v1" registry document
+ * (one registry per run, labeled "workload/config").
+ */
+void exportRegistry(std::ostream &os,
+                    const std::vector<RunResult> &runs,
+                    const StudyRunner &runner);
 
 } // namespace archsim
 

@@ -11,6 +11,10 @@
  *                                       re-solve per capacity, table out
  *   cactid <config-file> --jobs 8       solver worker threads
  *   cactid <config-file> --stats        engine instrumentation report
+ *   cactid <config-file> --trace FILE   profiling spans as Chrome trace
+ *   cactid <config-file> --profile      span summary on stderr
+ *   cactid <config-file> --registry FILE  solver counters (obs-v1)
+ *   cactid --version
  *   cactid --help
  */
 
@@ -18,12 +22,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/cacti.hh"
+#include "obs/build_info.hh"
+#include "obs/export.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "tools/config_parser.hh"
 
 namespace {
@@ -43,6 +52,14 @@ printHelp()
         "cores)\n"
         "  cactid <config-file> --stats      print engine "
         "instrumentation\n"
+        "  cactid <config-file> --trace FILE write profiling spans as "
+        "Chrome\n"
+        "                                    trace JSON (- for stdout)\n"
+        "  cactid <config-file> --profile    span summary on stderr\n"
+        "  cactid <config-file> --registry FILE\n"
+        "                                    solver counters as "
+        "cactid-obs-v1\n"
+        "  cactid --version                  build stamp\n"
         "  cactid -                          read the config from "
         "stdin\n"
         "\n"
@@ -102,9 +119,13 @@ printSweep(cactid::MemoryConfig cfg, const std::string &list,
 struct CliArgs {
     std::string configPath;
     std::string sweep;
+    std::string tracePath;
+    std::string registryPath;
     bool csv = false;
     bool stats = false;
+    bool profile = false;
     int jobs = -1; ///< -1: not given on the command line
+    bool version = false;
     bool help = false;
     bool ok = true;
 };
@@ -118,10 +139,29 @@ parseArgs(int argc, char **argv)
         if (std::strcmp(arg, "--help") == 0 ||
             std::strcmp(arg, "-h") == 0) {
             a.help = true;
+        } else if (std::strcmp(arg, "--version") == 0) {
+            a.version = true;
         } else if (std::strcmp(arg, "--csv") == 0) {
             a.csv = true;
         } else if (std::strcmp(arg, "--stats") == 0) {
             a.stats = true;
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            a.profile = true;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "cactid: --trace needs a path\n");
+                a.ok = false;
+                return a;
+            }
+            a.tracePath = argv[++i];
+        } else if (std::strcmp(arg, "--registry") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "cactid: --registry needs a path\n");
+                a.ok = false;
+                return a;
+            }
+            a.registryPath = argv[++i];
         } else if (std::strcmp(arg, "--jobs") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "cactid: --jobs needs a value\n");
@@ -151,6 +191,54 @@ parseArgs(int argc, char **argv)
     return a;
 }
 
+/** Write to FILE, or to stdout when the path is "-". */
+bool
+withStream(const std::string &path,
+           const std::function<void(std::ostream &)> &fn)
+{
+    if (path == "-") {
+        fn(std::cout);
+        return true;
+    }
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "cactid: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    fn(f);
+    return true;
+}
+
+/**
+ * Emit the wall-clock observability outputs: the profiling-span trace
+ * (clock domain µs) and/or the span summary table.
+ */
+bool
+emitSpans(const CliArgs &args)
+{
+    if (args.tracePath.empty() && !args.profile)
+        return true;
+    cactid::obs::Tracer &tracer = cactid::obs::Tracer::instance();
+    const std::vector<cactid::obs::TraceEvent> spans =
+        tracer.collect();
+    bool ok = true;
+    if (!args.tracePath.empty()) {
+        cactid::obs::TraceMeta meta;
+        meta.processes.emplace_back(0u, "cactid");
+        meta.clockDomain = "us";
+        meta.dropped = tracer.dropped();
+        std::vector<cactid::obs::TraceEvent> events = spans;
+        cactid::obs::canonicalizeTrace(events);
+        ok &= withStream(args.tracePath, [&](std::ostream &os) {
+            cactid::obs::writeChromeTrace(os, events, meta);
+        });
+    }
+    if (args.profile)
+        cactid::obs::writeProfileSummary(std::cerr, spans);
+    return ok;
+}
+
 } // namespace
 
 int
@@ -159,10 +247,17 @@ main(int argc, char **argv)
     const CliArgs args = parseArgs(argc, argv);
     if (!args.ok)
         return 1;
+    if (args.version) {
+        std::printf("%s\n",
+                    cactid::obs::versionLine("cactid").c_str());
+        return 0;
+    }
     if (args.help || args.configPath.empty()) {
         printHelp();
         return args.help ? 0 : 1;
     }
+    if (!args.tracePath.empty() || args.profile)
+        cactid::obs::Tracer::instance().enable(true);
 
     try {
         cactid::MemoryConfig cfg;
@@ -183,16 +278,27 @@ main(int argc, char **argv)
 
         if (!args.sweep.empty()) {
             printSweep(cfg, args.sweep, opts, args.stats);
-            return 0;
+            return emitSpans(args) ? 0 : 1;
         }
 
         const cactid::SolveResult res = cactid::solve(cfg, opts);
+        bool io_ok = true;
+        if (!args.registryPath.empty()) {
+            cactid::obs::Registry reg;
+            cactid::registerEngineStats(reg, res.stats);
+            io_ok &=
+                withStream(args.registryPath, [&](std::ostream &os) {
+                    cactid::obs::writeRegistryDump(
+                        os, {{"solve", &reg}});
+                });
+        }
         if (args.csv) {
             printCsv(res);
             if (args.stats)
                 std::fprintf(stderr, "%s",
                              res.stats.report().c_str());
-            return 0;
+            io_ok &= emitSpans(args);
+            return io_ok ? 0 : 1;
         }
 
         std::printf("=== %s ===\n", cfg.summary().c_str());
@@ -204,7 +310,8 @@ main(int argc, char **argv)
                     res.filtered.size());
         if (args.stats)
             std::printf("%s", res.stats.report().c_str());
-        return 0;
+        io_ok &= emitSpans(args);
+        return io_ok ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "cactid: %s\n", e.what());
         return 1;

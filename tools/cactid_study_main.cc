@@ -18,6 +18,11 @@
  *   cactid-study --no-thermal            skip the stack thermal solves
  *   cactid-study --table3                print Table 3 first
  *   cactid-study --quiet                 suppress the aggregate table
+ *   cactid-study --trace FILE            simulator events as Chrome
+ *                                        trace JSON (deterministic)
+ *   cactid-study --registry FILE         per-run counter registries
+ *   cactid-study --profile               wall-clock span summary
+ *   cactid-study --version               build stamp
  */
 
 #include <cstdio>
@@ -28,6 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/build_info.hh"
+#include "obs/export.hh"
+#include "obs/trace.hh"
 #include "sim/runner.hh"
 
 namespace {
@@ -55,7 +63,14 @@ printHelp()
         "  --summary-csv FILE write per-run aggregate CSV (- for stdout)\n"
         "  --no-thermal       skip stack-temperature solves\n"
         "  --table3           print the Table-3 projections first\n"
-        "  --quiet            suppress the aggregate table\n");
+        "  --quiet            suppress the aggregate table\n"
+        "  --trace FILE       write simulator events as Chrome trace\n"
+        "                     JSON (- for stdout; simulated-cycle\n"
+        "                     clock, byte-identical for any --jobs)\n"
+        "  --trace-capacity N per-run event ring size (default 16384)\n"
+        "  --registry FILE    write per-run counters as cactid-obs-v1\n"
+        "  --profile          wall-clock span summary on stderr\n"
+        "  --version          print the build stamp\n");
 }
 
 std::vector<std::string>
@@ -77,9 +92,13 @@ struct CliArgs {
     archsim::Cycle epoch = 20000;
     std::string configs, workloads;
     std::string jsonPath, csvPath, summaryPath;
+    std::string tracePath, registryPath;
+    std::size_t traceCapacity = 1 << 14;
+    bool profile = false;
     bool thermal = true;
     bool table3 = false;
     bool quiet = false;
+    bool version = false;
     bool help = false;
     bool ok = true;
 };
@@ -122,6 +141,18 @@ parseArgs(int argc, char **argv)
             a.csvPath = (v = value(i, arg)) ? v : "";
         else if (!std::strcmp(arg, "--summary-csv"))
             a.summaryPath = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--trace"))
+            a.tracePath = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--trace-capacity"))
+            a.traceCapacity = (v = value(i, arg))
+                                  ? std::strtoull(v, nullptr, 10)
+                                  : 0;
+        else if (!std::strcmp(arg, "--registry"))
+            a.registryPath = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--profile"))
+            a.profile = true;
+        else if (!std::strcmp(arg, "--version"))
+            a.version = true;
         else if (!std::strcmp(arg, "--no-thermal"))
             a.thermal = false;
         else if (!std::strcmp(arg, "--table3"))
@@ -195,10 +226,18 @@ main(int argc, char **argv)
     const CliArgs args = parseArgs(argc, argv);
     if (!args.ok)
         return 1;
+    if (args.version) {
+        std::printf(
+            "%s\n",
+            cactid::obs::versionLine("cactid-study").c_str());
+        return 0;
+    }
     if (args.help) {
         printHelp();
         return 0;
     }
+    if (args.profile)
+        cactid::obs::Tracer::instance().enable(true);
 
     try {
         Study study;
@@ -212,6 +251,8 @@ main(int argc, char **argv)
         opts.thermal = args.thermal;
         opts.configs = splitList(args.configs);
         opts.workloads = splitList(args.workloads);
+        opts.trace = !args.tracePath.empty();
+        opts.traceCapacity = args.traceCapacity;
         const StudyRunner runner(study, opts);
 
         const std::vector<RunResult> runs = runner.runAll();
@@ -233,6 +274,19 @@ main(int argc, char **argv)
                 withStream(args.summaryPath, [&](std::ostream &os) {
                     exportSummaryCsv(os, runs);
                 });
+        if (!args.tracePath.empty())
+            io_ok &= withStream(args.tracePath, [&](std::ostream &os) {
+                exportTraceJson(os, runs, runner);
+            });
+        if (!args.registryPath.empty())
+            io_ok &=
+                withStream(args.registryPath, [&](std::ostream &os) {
+                    exportRegistry(os, runs, runner);
+                });
+        if (args.profile) {
+            cactid::obs::writeProfileSummary(
+                std::cerr, cactid::obs::Tracer::instance().collect());
+        }
         return io_ok ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "cactid-study: %s\n", e.what());
