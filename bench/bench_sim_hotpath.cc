@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Simulator hot-path benchmark with golden byte-identity gates.
+ *
+ * Runs the pinned two-configuration (nol3, cm_dram_ed) x two-workload
+ * (mg.B, cg.C) sweep that bench/golden/ was generated from on the
+ * pre-optimization simulator, asserts that the "cactid-study-v1" JSON,
+ * the summary CSV and the "cactid-trace-v1" export are byte-identical
+ * to those goldens for both serial and jobs=8 runs (the build-info
+ * line carries the git describe of the producing commit, so it is the
+ * one line excluded from the comparison), then times the sweep with
+ * tracing off and reports simulated-cycles per wall-second into
+ * BENCH_sim_hotpath.json.
+ *
+ * Usage: bench_sim_hotpath [--golden-dir DIR] [--out FILE] [--reps N]
+ *        (defaults: bench/golden, BENCH_sim_hotpath.json, 3)
+ * Exit status is non-zero when any identity check fails.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/build_info.hh"
+#include "obs/numfmt.hh"
+#include "sim/runner.hh"
+
+namespace {
+
+using namespace archsim;
+
+/** The sweep bench/golden/ is pinned to.  Do not change without
+ * regenerating the goldens from a build of the same commit. */
+RunnerOptions
+pinnedOptions()
+{
+    RunnerOptions opts;
+    opts.instrPerThread = 20000;
+    opts.epochCycles = 20000;
+    opts.thermal = false;
+    opts.configs = {"nol3", "cm_dram_ed"};
+    opts.workloads = {"mg.B", "cg.C"};
+    return opts;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream os;
+    os << is.rdbuf();
+    out = os.str();
+    return true;
+}
+
+/**
+ * Drop lines carrying the build stamp ("build": {...} holds the git
+ * describe / compiler of the producing binary and legitimately differs
+ * across commits; every simulated byte is on the other lines).
+ */
+std::string
+stripBuildLines(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t end = s.find('\n', pos);
+        if (end == std::string::npos)
+            end = s.size();
+        else
+            ++end;
+        const std::string_view line(&s[pos], end - pos);
+        if (line.find("\"build\"") == std::string_view::npos)
+            out.append(line);
+        pos = end;
+    }
+    return out;
+}
+
+struct Exports {
+    std::string json, csv, trace;
+};
+
+Exports
+runIdentitySweep(const Study &study, int jobs)
+{
+    RunnerOptions opts = pinnedOptions();
+    opts.jobs = jobs;
+    opts.trace = true;
+    opts.traceCapacity = 2048; // matches the committed golden trace
+    const StudyRunner runner(study, opts);
+    const std::vector<RunResult> runs = runner.runAll();
+
+    Exports e;
+    std::ostringstream js, cs, tr;
+    exportJson(js, runs, runner);
+    exportSummaryCsv(cs, runs);
+    exportTraceJson(tr, runs, runner);
+    e.json = js.str();
+    e.csv = cs.str();
+    e.trace = tr.str();
+    return e;
+}
+
+bool
+checkIdentity(const char *what, const std::string &got,
+              const std::string &golden, bool filter_build)
+{
+    const std::string a = filter_build ? stripBuildLines(got) : got;
+    const std::string b = filter_build ? stripBuildLines(golden) : golden;
+    const bool same = a == b;
+    std::printf("  %-28s %s\n", what, same ? "IDENTICAL" : "DIFFERS");
+    return same;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string golden_dir = "bench/golden";
+    std::string out_path = "BENCH_sim_hotpath.json";
+    int reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--golden-dir") && i + 1 < argc)
+            golden_dir = argv[++i];
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
+            reps = std::atoi(argv[++i]);
+        else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    std::printf("=== simulator hot path (%s) ===\n",
+                cactid::obs::versionLine("bench_sim_hotpath").c_str());
+
+    std::string g_json, g_csv, g_trace;
+    if (!readFile(golden_dir + "/sim_hotpath.json", g_json) ||
+        !readFile(golden_dir + "/sim_hotpath_summary.csv", g_csv) ||
+        !readFile(golden_dir + "/sim_hotpath_trace.json", g_trace)) {
+        std::fprintf(stderr,
+                     "cannot read goldens under %s (run from the repo "
+                     "root, or pass --golden-dir)\n",
+                     golden_dir.c_str());
+        return 2;
+    }
+
+    const Study study;
+
+    // --- Identity gates: serial and jobs=8 against the goldens. ---
+    bool ok = true;
+    std::printf("identity vs %s (jobs=1):\n", golden_dir.c_str());
+    const Exports serial = runIdentitySweep(study, 1);
+    ok &= checkIdentity("study JSON", serial.json, g_json, true);
+    ok &= checkIdentity("summary CSV", serial.csv, g_csv, false);
+    ok &= checkIdentity("trace JSON", serial.trace, g_trace, true);
+
+    std::printf("identity vs %s (jobs=8):\n", golden_dir.c_str());
+    const Exports par = runIdentitySweep(study, 8);
+    ok &= checkIdentity("study JSON", par.json, g_json, true);
+    ok &= checkIdentity("summary CSV", par.csv, g_csv, false);
+    ok &= checkIdentity("trace JSON", par.trace, g_trace, true);
+    ok &= checkIdentity("jobs=8 == jobs=1 (exact)",
+                        par.json + par.csv + par.trace,
+                        serial.json + serial.csv + serial.trace, false);
+
+    // --- Throughput: tracing off, serial, min over reps. ---
+    RunnerOptions topts = pinnedOptions();
+    topts.jobs = 1;
+    const StudyRunner timed(study, topts);
+    (void)timed.runAll(); // warm-up
+    double best = 1e300;
+    std::uint64_t sim_cycles = 0;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        const std::vector<RunResult> runs = timed.runAll();
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (secs < best)
+            best = secs;
+        sim_cycles = 0;
+        for (const RunResult &run : runs)
+            sim_cycles += run.stats.cycles;
+    }
+    const double cps = best > 0 ? double(sim_cycles) / best : 0.0;
+    std::printf("throughput: %llu simulated cycles in %.3f s "
+                "(min of %d) = %.3e cycles/s\n",
+                static_cast<unsigned long long>(sim_cycles), best, reps,
+                cps);
+
+    using cactid::obs::fmtDouble;
+    using cactid::obs::jsonEscape;
+    std::ofstream os(out_path, std::ios::binary);
+    os << "{\n"
+       << "  \"schema\": \"cactid-bench-v1\",\n"
+       << "  \"bench\": \"sim_hotpath\",\n"
+       << "  \"build\": \""
+       << jsonEscape(cactid::obs::buildInfo().gitDescribe) << "\",\n"
+       << "  \"configs\": [\"nol3\", \"cm_dram_ed\"],\n"
+       << "  \"workloads\": [\"mg.B\", \"cg.C\"],\n"
+       << "  \"instr_per_thread\": 20000,\n"
+       << "  \"golden_identical\": "
+       << (ok ? "true" : "false") << ",\n"
+       << "  \"sim_cycles\": " << sim_cycles << ",\n"
+       << "  \"wall_s\": " << fmtDouble(best) << ",\n"
+       << "  \"sim_cycles_per_sec\": " << fmtDouble(cps) << ",\n"
+       << "  \"reps\": " << reps << "\n"
+       << "}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!ok)
+        std::fprintf(stderr,
+                     "bench_sim_hotpath: outputs are NOT byte-identical "
+                     "to the pinned goldens\n");
+    return ok ? 0 : 1;
+}

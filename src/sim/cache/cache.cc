@@ -10,23 +10,47 @@
 
 namespace archsim {
 
+namespace {
+
+int
+log2Exact(std::uint64_t v)
+{
+    int s = 0;
+    while ((std::uint64_t(1) << s) < v)
+        ++s;
+    return s;
+}
+
+} // namespace
+
 SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, int assoc,
                              int line_bytes)
     : assoc_(assoc), lineBytes_(line_bytes)
 {
     if (capacity_bytes == 0 || assoc <= 0 || line_bytes <= 0)
         throw std::invalid_argument("bad cache geometry");
-    sets_ = capacity_bytes / (std::uint64_t(assoc) * line_bytes);
-    if (sets_ == 0 || (sets_ & (sets_ - 1)) != 0)
+    const auto lb = std::uint64_t(line_bytes);
+    if ((lb & (lb - 1)) != 0)
         throw std::invalid_argument(
-            "cache must have a power-of-two number of sets");
+            "cache line size must be a power of two (got " +
+            std::to_string(line_bytes) + ")");
+    const std::uint64_t set_bytes = std::uint64_t(assoc) * lb;
+    if (capacity_bytes % set_bytes != 0)
+        throw std::invalid_argument(
+            "cache capacity " + std::to_string(capacity_bytes) +
+            " is not a multiple of assoc * line size (" +
+            std::to_string(set_bytes) + ")");
+    sets_ = capacity_bytes / set_bytes;
+    if ((sets_ & (sets_ - 1)) != 0)
+        throw std::invalid_argument(
+            "cache must have a power-of-two number of sets (capacity " +
+            std::to_string(capacity_bytes) + ", assoc " +
+            std::to_string(assoc) + ", line " +
+            std::to_string(line_bytes) + " give " +
+            std::to_string(sets_) + " sets)");
+    lineShift_ = log2Exact(lb);
     lines_.resize(sets_ * assoc_);
-}
-
-std::uint64_t
-SetAssocCache::setIndex(Addr addr) const
-{
-    return (addr / lineBytes_) & (sets_ - 1);
+    mru_.resize(sets_, 0);
 }
 
 SetAssocCache::Line *
@@ -41,11 +65,21 @@ SetAssocCache::find(Addr addr)
 SetAssocCache::Line *
 SetAssocCache::probe(Addr addr)
 {
-    const Addr tag = addr / lineBytes_;
-    Line *set = &lines_[setIndex(addr) * assoc_];
+    const Addr tag = addr >> lineShift_;
+    const std::uint64_t idx = setIndex(addr);
+    Line *set = &lines_[idx * assoc_];
+
+    // MRU hint: the last way hit in this set.  A wrong hint only costs
+    // the scan below; a right one (the common case) skips it.
+    const int h = mru_[idx];
+    if (set[h].state() != CState::Invalid && set[h].tag() == tag)
+        return &set[h];
+
     for (int w = 0; w < assoc_; ++w) {
-        if (set[w].state != CState::Invalid && set[w].tag == tag)
+        if (set[w].state() != CState::Invalid && set[w].tag() == tag) {
+            mru_[idx] = std::uint8_t(w);
             return &set[w];
+        }
     }
     return nullptr;
 }
@@ -54,11 +88,12 @@ SetAssocCache::Victim
 SetAssocCache::insert(Addr addr, CState st)
 {
     assert(probe(addr) == nullptr && "line already present");
-    const Addr tag = addr / lineBytes_;
-    Line *set = &lines_[setIndex(addr) * assoc_];
+    const Addr tag = addr >> lineShift_;
+    const std::uint64_t idx = setIndex(addr);
+    Line *set = &lines_[idx * assoc_];
     Line *victim = &set[0];
     for (int w = 0; w < assoc_; ++w) {
-        if (set[w].state == CState::Invalid) {
+        if (set[w].state() == CState::Invalid) {
             victim = &set[w];
             break;
         }
@@ -67,14 +102,14 @@ SetAssocCache::insert(Addr addr, CState st)
     }
 
     Victim out;
-    if (victim->state != CState::Invalid) {
+    if (victim->state() != CState::Invalid) {
         out.valid = true;
-        out.addr = victim->tag * lineBytes_;
-        out.state = victim->state;
+        out.addr = victim->tag() << lineShift_;
+        out.state = victim->state();
     }
-    victim->tag = tag;
-    victim->state = st;
+    victim->reset(tag, st);
     victim->lastUse = ++useClock_;
+    mru_[idx] = std::uint8_t(victim - set);
     return out;
 }
 
@@ -82,7 +117,7 @@ void
 SetAssocCache::invalidate(Addr addr)
 {
     if (Line *l = probe(addr))
-        l->state = CState::Invalid;
+        l->setState(CState::Invalid);
 }
 
 } // namespace archsim

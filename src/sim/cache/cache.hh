@@ -2,6 +2,16 @@
  * @file
  * Set-associative cache array with MESI line states and LRU
  * replacement: the building block of the simulated L1 / L2 / L3.
+ *
+ * This array sits on the simulator's hottest path (every instruction
+ * that touches memory probes at least one instance), so the layout and
+ * indexing are engineered down: the tag and MESI state pack into one
+ * 64-bit word (16-byte lines, two per 32-byte chunk), set indexing is
+ * a shift-and-mask (line size and set count are validated powers of
+ * two at construction), and each set keeps an MRU way hint so the
+ * common re-reference hits without scanning the ways.  Replacement is
+ * still exact LRU over per-line timestamps — the hint only changes the
+ * search order, never the outcome.
  */
 
 #ifndef ARCHSIM_CACHE_CACHE_HH
@@ -29,12 +39,36 @@ writable(CState s)
 class SetAssocCache
 {
   public:
-    /** One cache line's bookkeeping. */
+    /**
+     * One cache line's bookkeeping, packed to 16 bytes: the tag and
+     * the two-bit MESI state share one word (CState::Invalid is 0, so
+     * zero-initialized lines are invalid).
+     */
     struct Line {
-        Addr tag = 0;
-        CState state = CState::Invalid;
+        std::uint64_t tagState = 0; ///< tag << 2 | state
         std::uint64_t lastUse = 0;
+
+        CState state() const { return CState(tagState & kStateMask); }
+
+        void
+        setState(CState s)
+        {
+            tagState = (tagState & ~kStateMask) |
+                       std::uint64_t(std::uint8_t(s));
+        }
+
+        std::uint64_t tag() const { return tagState >> kStateBits; }
+
+        void
+        reset(std::uint64_t tag, CState st)
+        {
+            tagState = (tag << kStateBits) |
+                       std::uint64_t(std::uint8_t(st));
+        }
     };
+
+    static constexpr int kStateBits = 2;
+    static constexpr std::uint64_t kStateMask = (1u << kStateBits) - 1;
 
     /** Result of an insertion: the evicted victim, if any. */
     struct Victim {
@@ -46,7 +80,12 @@ class SetAssocCache
     /**
      * @param capacity_bytes total capacity
      * @param assoc          ways per set
-     * @param line_bytes     line size
+     * @param line_bytes     line size (power of two)
+     *
+     * @throws std::invalid_argument unless the geometry is exactly
+     * realisable: line size a power of two, capacity an exact multiple
+     * of assoc * line size, and a power-of-two set count (anything
+     * else would silently alias distinct addresses onto one set).
      */
     SetAssocCache(std::uint64_t capacity_bytes, int assoc,
                   int line_bytes);
@@ -77,14 +116,34 @@ class SetAssocCache
         return addr & ~Addr(lineBytes_ - 1);
     }
 
+    /**
+     * Visit every valid line as f(lineAddr, state) in array order —
+     * for directory audits and tests; never on the hot path.
+     */
+    template <typename F>
+    void
+    forEachValid(F &&f) const
+    {
+        for (const Line &l : lines_) {
+            if (l.state() != CState::Invalid)
+                f(Addr(l.tag()) << lineShift_, l.state());
+        }
+    }
+
   private:
-    std::uint64_t setIndex(Addr addr) const;
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr >> lineShift_) & (sets_ - 1);
+    }
 
     std::uint64_t sets_;
     int assoc_;
     int lineBytes_;
+    int lineShift_;             ///< log2(lineBytes_)
     std::uint64_t useClock_ = 0;
-    std::vector<Line> lines_; ///< sets_ * assoc_, set-major
+    std::vector<Line> lines_;   ///< sets_ * assoc_, set-major
+    std::vector<std::uint8_t> mru_; ///< per-set last-hit way hint
 };
 
 } // namespace archsim

@@ -1,11 +1,20 @@
 /**
  * @file
  * MESI cache hierarchy implementation.
+ *
+ * The snoop filter keeps an exact mirror of L2 line presence, so every
+ * L2 mutation below (fills, evictions, invalidations, M transitions)
+ * updates the directory in the same statement block.  The protocol
+ * decisions, counters, trace events and latencies are identical to the
+ * broadcast implementation — the filter only narrows *which* remote
+ * L2s get probed, and every core it names is probed in ascending id
+ * order, matching the old for-all-cores loop.
  */
 
 #include "sim/cache/coherence.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace archsim {
 
@@ -55,21 +64,29 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &p)
         l1d_.emplace_back(p.l1Bytes, p.l1Assoc, p.lineBytes);
         l2_.emplace_back(p.l2Bytes, p.l2Assoc, p.lineBytes);
     }
+    if (p.nCores <= SnoopFilter::kMaxCores) {
+        // Presize for the worst case: every L2 line live at once.
+        const std::size_t live =
+            std::size_t(p.nCores) *
+            (p.l2Bytes / std::uint64_t(p.lineBytes));
+        snoop_ = std::make_unique<SnoopFilter>(p.nCores, live);
+    }
     if (p.llc)
         llc_ = std::make_unique<Llc>(*p.llc);
 }
 
 void
-CacheHierarchy::fillL1(SetAssocCache &l1, int core, Addr line, CState st,
-                       Cycle now)
+CacheHierarchy::fillL1(SetAssocCache &l1, int core, Addr line, CState st)
 {
     const SetAssocCache::Victim v = l1.insert(line, st);
     if (v.valid && v.state == CState::Modified) {
         // L1 dirty victim folds into the (inclusive) L2 copy.
-        if (SetAssocCache::Line *l = l2_[core].probe(v.addr))
-            l->state = CState::Modified;
+        if (SetAssocCache::Line *l = l2_[core].probe(v.addr)) {
+            l->setState(CState::Modified);
+            if (snoop_)
+                snoop_->setOwner(v.addr, core);
+        }
     }
-    (void)now;
 }
 
 void
@@ -88,8 +105,15 @@ CacheHierarchy::fillL2(int core, Addr line, CState st, Cycle now)
 {
     ++counters_.l2Writes;
     const SetAssocCache::Victim v = l2_[core].insert(line, st);
+    if (snoop_) {
+        snoop_->addSharer(line, core);
+        if (st == CState::Modified)
+            snoop_->setOwner(line, core);
+    }
     if (v.valid) {
         // Inclusion: the L1s may not keep a line the L2 dropped.
+        if (snoop_)
+            snoop_->removeSharer(v.addr, core);
         l1i_[core].invalidate(v.addr);
         l1d_[core].invalidate(v.addr);
         if (v.state == CState::Modified)
@@ -97,53 +121,73 @@ CacheHierarchy::fillL2(int core, Addr line, CState st, Cycle now)
     }
 }
 
+void
+CacheHierarchy::invalidateCore(int o, Addr line)
+{
+    l2_[o].invalidate(line);
+    if (snoop_)
+        snoop_->removeSharer(line, o);
+    l1i_[o].invalidate(line);
+    l1d_[o].invalidate(line);
+}
+
 Cycle
 CacheHierarchy::fetchFromBeyondL2(int core, Addr line, bool write,
                                   Cycle now, ServedBy &served)
 {
-    // --- Snoop the other cores' L2s (MESI).
+    // --- Snoop the sharers' L2s (MESI).
     int dirty_owner = -1;
     bool shared_elsewhere = false;
-    for (int o = 0; o < p_.nCores; ++o) {
-        if (o == core)
-            continue;
+    const auto snoopOne = [&](int o) {
         if (SetAssocCache::Line *l = l2_[o].probe(line)) {
             shared_elsewhere = true;
-            if (l->state == CState::Modified)
+            if (l->state() == CState::Modified)
                 dirty_owner = o;
-            if (write || l->state == CState::Modified) {
+            if (write || l->state() == CState::Modified) {
                 // Invalidate on write; an M owner also loses the line
                 // on a read in this forwarding implementation (M -> I
                 // with the L3/memory copy refreshed).
-                if (write || dirty_owner == o) {
-                    OBS_EVENT(trace_, .name = "mesi.inval",
-                              .cat = "mesi", .ph = 'i', .ts = now,
-                              .tid = std::uint32_t(o),
-                              .argName = "line", .argValue = line,
-                              .argStrName = "from",
-                              .argStr = stateName(l->state));
-                    l2_[o].invalidate(line);
-                    l1i_[o].invalidate(line);
-                    l1d_[o].invalidate(line);
-                }
-            } else if (!write) {
+                OBS_EVENT(trace_, .name = "mesi.inval", .cat = "mesi",
+                          .ph = 'i', .ts = now, .tid = std::uint32_t(o),
+                          .argName = "line", .argValue = line,
+                          .argStrName = "from",
+                          .argStr = stateName(l->state()));
+                invalidateCore(o, line);
+            } else {
                 // Downgrade to Shared -- including the L1 copies, or a
                 // stale Exclusive L1 line would later accept a silent
                 // store alongside the new sharers.
-                if (l->state != CState::Shared) {
+                if (l->state() != CState::Shared) {
                     OBS_EVENT(trace_, .name = "mesi.downgrade",
                               .cat = "mesi", .ph = 'i', .ts = now,
                               .tid = std::uint32_t(o),
                               .argName = "line", .argValue = line,
                               .argStrName = "from",
-                              .argStr = stateName(l->state));
+                              .argStr = stateName(l->state()));
                 }
-                l->state = CState::Shared;
+                l->setState(CState::Shared);
                 if (SetAssocCache::Line *d = l1d_[o].probe(line))
-                    d->state = CState::Shared;
+                    d->setState(CState::Shared);
                 if (SetAssocCache::Line *i = l1i_[o].probe(line))
-                    i->state = CState::Shared;
+                    i->setState(CState::Shared);
             }
+        }
+    };
+    if (snoop_) {
+        // Only the actual sharers, in ascending core order (the same
+        // order the broadcast loop visited them).  Most misses have an
+        // empty mask and skip remote tag lookups entirely.
+        std::uint32_t mask = snoop_->sharers(line);
+        mask &= ~(1u << core); // the requester just missed
+        while (mask) {
+            const int o = std::countr_zero(mask);
+            mask &= mask - 1;
+            snoopOne(o);
+        }
+    } else {
+        for (int o = 0; o < p_.nCores; ++o) {
+            if (o != core)
+                snoopOne(o);
         }
     }
 
@@ -207,7 +251,7 @@ CacheHierarchy::l2State(int core, Addr addr)
 {
     const Addr line = l2_[core].lineAddr(addr);
     SetAssocCache::Line *l = l2_[core].probe(line);
-    return l ? l->state : CState::Invalid;
+    return l ? l->state() : CState::Invalid;
 }
 
 bool
@@ -232,6 +276,59 @@ CacheHierarchy::coherent(Addr addr)
     return owners == 0 || (owners == 1 && sharers == 0);
 }
 
+bool
+CacheHierarchy::snoopFilterConsistent(Addr addr) const
+{
+    if (!snoop_)
+        return true;
+    const Addr line = l2_[0].lineAddr(addr);
+    std::uint16_t mask = 0;
+    int owner = -1;
+    for (int c = 0; c < p_.nCores; ++c) {
+        // probe() is non-const only because it refreshes the MRU way
+        // hint, which never changes observable behaviour.
+        auto &l2 = const_cast<SetAssocCache &>(l2_[c]);
+        if (const SetAssocCache::Line *l = l2.probe(line)) {
+            mask |= std::uint16_t(1u << c);
+            if (l->state() == CState::Modified)
+                owner = c;
+        }
+    }
+    return snoop_->sharers(line) == mask &&
+           snoop_->owner(line) == owner;
+}
+
+bool
+CacheHierarchy::snoopFilterConsistent() const
+{
+    if (!snoop_)
+        return true;
+    // Arrays -> filter: every valid L2 line must be present with the
+    // right bit (and M implies ownership).
+    std::size_t array_lines = 0;
+    bool ok = true;
+    for (int c = 0; c < p_.nCores; ++c) {
+        l2_[c].forEachValid([&](Addr line, CState st) {
+            ++array_lines;
+            if (!(snoop_->sharers(line) & (1u << c)))
+                ok = false;
+            if (st == CState::Modified && snoop_->owner(line) != c)
+                ok = false;
+        });
+    }
+    if (!ok)
+        return false;
+    // Filter -> arrays: every entry rebuilds exactly, and the live
+    // bit count matches the array population (no phantom sharers).
+    std::size_t filter_bits = 0;
+    for (const SnoopFilter::Entry &e : snoop_->entries()) {
+        filter_bits += std::popcount(std::uint32_t(e.sharers));
+        if (!snoopFilterConsistent(e.line))
+            return false;
+    }
+    return filter_bits == array_lines;
+}
+
 CacheHierarchy::Result
 CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
                        Cycle now)
@@ -244,25 +341,28 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
 
     // --- L1.
     if (SetAssocCache::Line *l = l1.find(line)) {
-        if (!write || writable(l->state)) {
+        if (!write || writable(l->state())) {
             if (write)
-                l->state = CState::Modified;
+                l->setState(CState::Modified);
             r.latency = p_.l1Cycles;
             r.servedBy = ServedBy::L1;
             return r;
         }
         // Store to a Shared line: upgrade through the L2.
-        l->state = CState::Invalid;
+        l->setState(CState::Invalid);
     }
 
     // --- L2.
     ++counters_.l2Reads;
     if (SetAssocCache::Line *l = l2_[core].find(line)) {
-        if (!write || writable(l->state)) {
-            if (write)
-                l->state = CState::Modified;
+        if (!write || writable(l->state())) {
+            if (write) {
+                l->setState(CState::Modified);
+                if (snoop_)
+                    snoop_->setOwner(line, core);
+            }
             fillL1(l1, core, line,
-                   write ? CState::Modified : l->state, now);
+                   write ? CState::Modified : l->state());
             r.latency = p_.l1Cycles + p_.l2Cycles;
             r.servedBy = ServedBy::L2;
             return r;
@@ -271,17 +371,26 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
         OBS_EVENT(trace_, .name = "mesi.upgrade", .cat = "mesi",
                   .ph = 'i', .ts = now, .tid = std::uint32_t(core),
                   .argName = "line", .argValue = line,
-                  .argStrName = "from", .argStr = stateName(l->state));
-        for (int o = 0; o < p_.nCores; ++o) {
-            if (o == core)
-                continue;
-            l2_[o].invalidate(line);
-            l1i_[o].invalidate(line);
-            l1d_[o].invalidate(line);
+                  .argStrName = "from", .argStr = stateName(l->state()));
+        if (snoop_) {
+            std::uint32_t mask = snoop_->sharers(line);
+            mask &= ~(1u << core); // keep the upgrading copy
+            while (mask) {
+                const int o = std::countr_zero(mask);
+                mask &= mask - 1;
+                invalidateCore(o, line);
+            }
+        } else {
+            for (int o = 0; o < p_.nCores; ++o) {
+                if (o != core)
+                    invalidateCore(o, line);
+            }
         }
         counters_.xbarTransfers += 2;
-        l->state = CState::Modified;
-        fillL1(l1, core, line, CState::Modified, now);
+        l->setState(CState::Modified);
+        if (snoop_)
+            snoop_->setOwner(line, core);
+        fillL1(l1, core, line, CState::Modified);
         r.latency = p_.l1Cycles + p_.l2Cycles + 2 * p_.xbarCycles;
         r.servedBy = ServedBy::L2;
         return r;
@@ -291,8 +400,7 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
     ++counters_.l2Misses;
     ServedBy served = ServedBy::Memory;
     const Cycle beyond = fetchFromBeyondL2(core, line, write, now, served);
-    fillL1(l1, core, line, write ? CState::Modified : CState::Shared,
-           now);
+    fillL1(l1, core, line, write ? CState::Modified : CState::Shared);
     r.latency = p_.l1Cycles + p_.l2Cycles + beyond;
     r.servedBy = served;
     // Start/complete record of every request that left the private

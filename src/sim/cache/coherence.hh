@@ -4,10 +4,14 @@
  * MESI protocol is used for cache coherency").
  *
  * Private per-core L1 I/D and unified L2 caches; an optional shared
- * banked L3 behind the crossbar; main memory behind that.  Coherence is
- * kept at the L2 level by snooping the other cores' L2 arrays on an L2
- * miss or write upgrade (functionally a full-map directory).  L1s are
- * inclusive in their L2 and back-invalidated.
+ * banked L3 behind the crossbar; main memory behind that.  Coherence
+ * is kept at the L2 level (functionally a full-map directory); L1s
+ * are inclusive in their L2 and back-invalidated.  A SnoopFilter
+ * shadows the L2 arrays with an exact per-line sharer bitmask and
+ * dirty-owner id, so an L2 miss or write upgrade probes only the
+ * cores that actually hold the line instead of broadcasting to all of
+ * them — the visible protocol behaviour (states, counters, events,
+ * latencies) is identical to the broadcast implementation.
  */
 
 #ifndef ARCHSIM_CACHE_COHERENCE_HH
@@ -19,6 +23,7 @@
 
 #include "sim/cache/cache.hh"
 #include "sim/cache/llc.hh"
+#include "sim/cache/snoopfilter.hh"
 #include "sim/common.hh"
 #include "sim/dram/dram.hh"
 
@@ -93,6 +98,24 @@ class CacheHierarchy
      */
     bool coherent(Addr addr);
 
+    /**
+     * Directory equivalence for one line: the snoop filter's sharer
+     * mask and dirty owner must equal what a probe of every core's L2
+     * array rebuilds.  Always true for systems too wide for the
+     * filter (which fall back to broadcast snooping).
+     */
+    bool snoopFilterConsistent(Addr addr) const;
+
+    /**
+     * Full directory audit: every valid L2 line is a filter entry and
+     * every filter entry matches the arrays.  O(total L2 lines); for
+     * the stress tests, never the hot path.
+     */
+    bool snoopFilterConsistent() const;
+
+    /** The directory (nullptr when nCores > SnoopFilter::kMaxCores). */
+    const SnoopFilter *snoopFilter() const { return snoop_.get(); }
+
     const HierCounters &counters() const { return counters_; }
     const DramCounters &dramCounters() const { return mem_.counters(); }
     MemorySystem &memory() { return mem_; }
@@ -117,16 +140,19 @@ class CacheHierarchy
 
     /** Install into L2+L1, handling inclusion victims. */
     void fillL2(int core, Addr line, CState st, Cycle now);
-    void fillL1(SetAssocCache &l1, int core, Addr line, CState st,
-                Cycle now);
+    void fillL1(SetAssocCache &l1, int core, Addr line, CState st);
 
     /** Evict a dirty L2 line toward L3 / memory. */
     void writebackFromL2(Addr line, Cycle now);
+
+    /** Drop @p line from core @p o's L2 + L1s, directory included. */
+    void invalidateCore(int o, Addr line);
 
     HierarchyParams p_;
     std::vector<SetAssocCache> l1i_;
     std::vector<SetAssocCache> l1d_;
     std::vector<SetAssocCache> l2_;
+    std::unique_ptr<SnoopFilter> snoop_;
     std::unique_ptr<Llc> llc_;
     MemorySystem mem_;
     HierCounters counters_;

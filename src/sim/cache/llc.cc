@@ -99,7 +99,7 @@ Llc::lookup(Addr addr, bool write, Cycle now)
         a.hit = true;
         ++hits;
         if (write)
-            l->state = CState::Modified;
+            l->setState(CState::Modified);
     } else {
         ++misses;
     }
@@ -121,14 +121,14 @@ Llc::writeback(Addr addr, Cycle now)
     reserve(addr, now);
     ++writes;
     if (SetAssocCache::Line *l = array_.probe(addr))
-        l->state = CState::Modified;
+        l->setState(CState::Modified);
 }
 
 void
 Llc::markDirty(Addr addr)
 {
     if (SetAssocCache::Line *l = array_.probe(addr))
-        l->state = CState::Modified;
+        l->setState(CState::Modified);
 }
 
 } // namespace archsim

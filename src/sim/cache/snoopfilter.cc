@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Snoop-filter directory implementation: open addressing with linear
+ * probing, tombstone deletion, and rehash-on-load growth.
+ */
+
+#include "sim/cache/snoopfilter.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace archsim {
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t v)
+{
+    std::size_t p = 64;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+SnoopFilter::SnoopFilter(int n_cores, std::size_t capacity_hint)
+    : nCores_(n_cores)
+{
+    if (n_cores <= 0 || n_cores > kMaxCores)
+        throw std::invalid_argument(
+            "SnoopFilter tracks 1.." + std::to_string(kMaxCores) +
+            " cores (got " + std::to_string(n_cores) + ")");
+    // Size for <= 50% load at the hinted live-line count.
+    slots_.resize(roundUpPow2(capacity_hint * 2));
+}
+
+std::size_t
+SnoopFilter::hashLine(Addr line)
+{
+    // 64-bit finalizer mix (splittable-PRNG style): line addresses are
+    // regular (multiples of the line size), so low bits alone alias.
+    std::uint64_t x = line;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return std::size_t(x);
+}
+
+const SnoopFilter::Slot *
+SnoopFilter::lookup(Addr line) const
+{
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hashLine(line) & mask;; i = (i + 1) & mask) {
+        const Slot &s = slots_[i];
+        if (s.state == kEmpty)
+            return nullptr;
+        if (s.state == kUsed && s.line == line)
+            return &s;
+    }
+}
+
+SnoopFilter::Slot *
+SnoopFilter::lookup(Addr line)
+{
+    return const_cast<Slot *>(
+        static_cast<const SnoopFilter *>(this)->lookup(line));
+}
+
+SnoopFilter::Slot *
+SnoopFilter::lookupOrInsert(Addr line)
+{
+    const std::size_t mask = slots_.size() - 1;
+    Slot *tomb = nullptr;
+    for (std::size_t i = hashLine(line) & mask;; i = (i + 1) & mask) {
+        Slot &s = slots_[i];
+        if (s.state == kUsed) {
+            if (s.line == line)
+                return &s;
+            continue;
+        }
+        if (s.state == kTombstone) {
+            if (!tomb)
+                tomb = &s;
+            continue;
+        }
+        // Empty: the line is absent.  Prefer reviving a tombstone so
+        // probe chains stay short.
+        Slot *dst = tomb ? tomb : &s;
+        if (dst == &s)
+            ++occupied_;
+        dst->line = line;
+        dst->mask = 0;
+        dst->owner = -1;
+        dst->state = kUsed;
+        ++used_;
+        return dst;
+    }
+}
+
+void
+SnoopFilter::grow()
+{
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(roundUpPow2((used_ + 1) * 4), Slot{});
+    occupied_ = used_;
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot &s : old) {
+        if (s.state != kUsed)
+            continue;
+        std::size_t i = hashLine(s.line) & mask;
+        while (slots_[i].state != kEmpty)
+            i = (i + 1) & mask;
+        slots_[i] = s;
+    }
+}
+
+void
+SnoopFilter::addSharer(Addr line, int core)
+{
+    assert(core >= 0 && core < nCores_);
+    // Rehash above ~70% raw occupancy (live + tombstones), dropping
+    // the tombstones: the table tracks live L2 lines, not history.
+    if ((occupied_ + 1) * 10 >= slots_.size() * 7)
+        grow();
+    lookupOrInsert(line)->mask |= std::uint16_t(1u << core);
+}
+
+void
+SnoopFilter::removeSharer(Addr line, int core)
+{
+    assert(core >= 0 && core < nCores_);
+    Slot *s = lookup(line);
+    if (!s)
+        return;
+    s->mask &= std::uint16_t(~(1u << core));
+    if (s->owner == core)
+        s->owner = -1;
+    if (s->mask == 0) {
+        s->state = kTombstone;
+        s->owner = -1;
+        --used_;
+    }
+}
+
+void
+SnoopFilter::setOwner(Addr line, int core)
+{
+    assert(core >= 0 && core < nCores_);
+    Slot *s = lookup(line);
+    assert(s && (s->mask & (1u << core)) &&
+           "owner must be a tracked sharer");
+    if (s)
+        s->owner = std::int8_t(core);
+}
+
+std::uint16_t
+SnoopFilter::sharers(Addr line) const
+{
+    const Slot *s = lookup(line);
+    return s ? s->mask : 0;
+}
+
+int
+SnoopFilter::owner(Addr line) const
+{
+    const Slot *s = lookup(line);
+    return s ? s->owner : -1;
+}
+
+std::vector<SnoopFilter::Entry>
+SnoopFilter::entries() const
+{
+    std::vector<Entry> out;
+    out.reserve(used_);
+    for (const Slot &s : slots_) {
+        if (s.state == kUsed)
+            out.push_back(Entry{s.line, s.mask, s.owner});
+    }
+    return out;
+}
+
+} // namespace archsim

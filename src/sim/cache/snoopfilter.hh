@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Snoop filter / sharer directory for the MESI hierarchy.
+ *
+ * The coherence protocol is functionally a full-map directory kept by
+ * snooping every other core's L2 array on an L2 miss or write
+ * upgrade.  Correct — but O(nCores) tag lookups on every miss, and
+ * most misses have zero remote sharers.  The SnoopFilter shadows the
+ * L2 arrays with an open-addressed hash of line address -> 16-bit
+ * presence bitmask + dirty-owner id, updated at every L2 fill, evict
+ * and invalidate, so the miss path probes only the cores that can
+ * actually hold the line.
+ *
+ * The filter is *exact*, not conservative: its state is at all times
+ * reconstructible from the L2 tag arrays (bit c set iff core c's L2
+ * holds the line; owner == c iff that copy is Modified).  The MESI
+ * stress suite re-derives it from the arrays after every access and
+ * compares — see CacheHierarchy::snoopFilterConsistent().
+ */
+
+#ifndef ARCHSIM_CACHE_SNOOPFILTER_HH
+#define ARCHSIM_CACHE_SNOOPFILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/common.hh"
+
+namespace archsim {
+
+/** Exact per-line sharer directory over the private L2s. */
+class SnoopFilter
+{
+  public:
+    /** Presence masks are 16-bit; wider systems fall back to snooping. */
+    static constexpr int kMaxCores = 16;
+
+    /** One live directory entry (for audits and tests). */
+    struct Entry {
+        Addr line = 0;
+        std::uint16_t sharers = 0;
+        int owner = -1; ///< core holding the line Modified, or -1
+    };
+
+    /**
+     * @param n_cores      cores tracked (1..kMaxCores)
+     * @param capacity_hint expected live-line count (table presize)
+     */
+    explicit SnoopFilter(int n_cores, std::size_t capacity_hint = 1024);
+
+    /** Core @p core filled @p line into its L2. */
+    void addSharer(Addr line, int core);
+
+    /**
+     * Core @p core dropped @p line (eviction or invalidation).  Clears
+     * the dirty owner if @p core held the line Modified; a no-op when
+     * the core was not a sharer.
+     */
+    void removeSharer(Addr line, int core);
+
+    /** Core @p core's L2 copy of @p line became Modified. */
+    void setOwner(Addr line, int core);
+
+    /** Presence bitmask of @p line (bit c = core c's L2 holds it). */
+    std::uint16_t sharers(Addr line) const;
+
+    /** Core holding @p line Modified in its L2, or -1. */
+    int owner(Addr line) const;
+
+    /** Live entries (lines with at least one sharer). */
+    std::size_t size() const { return used_; }
+
+    /** Slots allocated (for occupancy diagnostics). */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Snapshot of every live entry, unordered.  For audits/tests. */
+    std::vector<Entry> entries() const;
+
+  private:
+    enum : std::uint8_t { kEmpty = 0, kUsed = 1, kTombstone = 2 };
+
+    struct Slot {
+        Addr line = 0;
+        std::uint16_t mask = 0;
+        std::int8_t owner = -1;
+        std::uint8_t state = kEmpty;
+    };
+
+    static std::size_t hashLine(Addr line);
+
+    /** Slot holding @p line, or nullptr. */
+    const Slot *lookup(Addr line) const;
+    Slot *lookup(Addr line);
+
+    /** Slot holding @p line, inserting (reusing tombstones) if absent. */
+    Slot *lookupOrInsert(Addr line);
+
+    void grow();
+
+    std::vector<Slot> slots_; ///< power-of-two size
+    std::size_t used_ = 0;     ///< live entries
+    std::size_t occupied_ = 0; ///< live + tombstones
+    int nCores_;
+};
+
+} // namespace archsim
+
+#endif // ARCHSIM_CACHE_SNOOPFILTER_HH

@@ -9,6 +9,19 @@
 
 namespace archsim {
 
+namespace {
+
+/** Wake @p t at @p at and tell its core the minimum may have dropped. */
+void
+wake(Thread &t, Cycle at)
+{
+    t.readyAt = at;
+    if (t.core)
+        t.core->noteWake(at);
+}
+
+} // namespace
+
 void
 SyncState::maybeRelease(Cycle now)
 {
@@ -33,9 +46,8 @@ SyncState::maybeRelease(Cycle now)
                   .ph = 'X', .ts = t->blockedSince,
                   .dur = now + 1 - t->blockedSince,
                   .tid = std::uint32_t(t->id));
-        t->readyAt = now + 1;
+        wake(*t, now + 1);
     }
-    arrived_ = 0;
 }
 
 void
@@ -43,7 +55,6 @@ SyncState::arriveBarrier(Thread &t, Cycle now)
 {
     t.waitingBarrier = true;
     t.blockedSince = now;
-    ++arrived_;
     maybeRelease(now);
 }
 
@@ -87,8 +98,33 @@ SyncState::releaseLock(Cycle now)
               .ts = next->blockedSince,
               .dur = now + 1 - next->blockedSince,
               .tid = std::uint32_t(next->id));
-    next->readyAt = now + 1;
+    wake(*next, now + 1);
     holder_ = next; // the lock passes to the woken thread
+}
+
+void
+Core::wire()
+{
+    for (Thread *t : threads_)
+        t->core = this;
+    nDone_ = 0;
+    for (const Thread *t : threads_) {
+        if (t->done())
+            ++nDone_;
+    }
+    recomputeReady();
+}
+
+void
+Core::recomputeReady()
+{
+    Cycle next = std::numeric_limits<Cycle>::max();
+    for (const Thread *t : threads_) {
+        if (t->done() || t->waitingBarrier || t->waitingLock)
+            continue;
+        next = std::min(next, t->readyAt);
+    }
+    minReady_ = next;
 }
 
 void
@@ -156,6 +192,10 @@ Core::execute(Thread &t, Cycle now, CacheHierarchy &hier,
 bool
 Core::step(Cycle now, CacheHierarchy &hier, SyncState &sync)
 {
+    // O(1) skip for the common case: nothing runnable this cycle
+    // (minReady_ is ~0 when every thread is done or blocked).
+    if (minReady_ > now)
+        return false;
     const int n = static_cast<int>(threads_.size());
     for (int i = 0; i < n; ++i) {
         Thread &t = *threads_[(rr_ + i) % n];
@@ -164,31 +204,18 @@ Core::step(Cycle now, CacheHierarchy &hier, SyncState &sync)
             continue;
         rr_ = (rr_ + i + 1) % n;
         execute(t, now, hier, sync);
+        if (t.done())
+            ++nDone_;
+        // The executed thread's readyAt moved (or it blocked/retired);
+        // sync releases inside execute() already lowered minima via
+        // noteWake.  Rescanning our four threads keeps the cache exact.
+        recomputeReady();
         return true;
     }
+    // Unreachable while the cache is exact, but never wrong: fall back
+    // to a fresh scan.
+    recomputeReady();
     return false;
-}
-
-Cycle
-Core::nextReady() const
-{
-    Cycle next = std::numeric_limits<Cycle>::max();
-    for (const Thread *t : threads_) {
-        if (t->done() || t->waitingBarrier || t->waitingLock)
-            continue;
-        next = std::min(next, t->readyAt);
-    }
-    return next;
-}
-
-bool
-Core::done() const
-{
-    for (const Thread *t : threads_) {
-        if (!t->done())
-            return false;
-    }
-    return true;
 }
 
 } // namespace archsim

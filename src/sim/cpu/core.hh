@@ -6,6 +6,15 @@
  * instructions take four cycles, and at most one memory request per
  * cycle is generated to the L1.  Threads block in order on memory,
  * barriers, and locks.
+ *
+ * Each core keeps ready bookkeeping so the per-cycle system loop is
+ * O(1) for cores that cannot issue: a cached minimum ready cycle over
+ * the runnable threads (exact, maintained at every readyAt change)
+ * and a retired-thread count.  Synchronization wake-ups notify the
+ * woken thread's core through Thread::core.  The bookkeeping changes
+ * only how fast the scheduler finds work — issue order, cycle
+ * progression and every statistic are identical to the scan-everything
+ * loop.
  */
 
 #ifndef ARCHSIM_CPU_CORE_HH
@@ -13,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -21,6 +31,8 @@
 #include "sim/workload/trace_gen.hh"
 
 namespace archsim {
+
+class Core;
 
 /** Per-thread cycle attribution (the six Figure 4(b) categories). */
 struct ThreadStats {
@@ -64,6 +76,7 @@ class Thread
     bool waitingBarrier = false;
     bool waitingLock = false;
     Cycle blockedSince = 0;
+    Core *core = nullptr; ///< owning core, for wake notifications
     ThreadStats stats;
 };
 
@@ -98,7 +111,6 @@ class SyncState
 
     obs::TraceBuffer *trace_ = nullptr;
     std::vector<Thread *> threads_;
-    int arrived_ = 0;
     bool lockHeld_ = false;
     Thread *holder_ = nullptr;
     std::deque<Thread *> lockQueue_;
@@ -112,22 +124,49 @@ class Core
         : id_(id), threads_(std::move(threads))
     {}
 
+    /**
+     * Point the threads back at this core and prime the ready cache.
+     * Called once by the system after every Core has its final
+     * address (the cores live in a vector).
+     */
+    void wire();
+
     /** Issue at most one instruction this cycle; true if issued. */
     bool step(Cycle now, CacheHierarchy &hier, SyncState &sync);
 
     /** Earliest cycle at which any thread could issue (or ~0 if none). */
-    Cycle nextReady() const;
+    Cycle nextReady() const { return minReady_; }
 
     /** True once every thread retired its budget. */
-    bool done() const;
+    bool
+    done() const
+    {
+        return nDone_ == int(threads_.size());
+    }
+
+    /**
+     * A blocked thread of this core became runnable at cycle @p at
+     * (barrier release, lock hand-off).  Keeps the cached minimum
+     * exact without a rescan.
+     */
+    void
+    noteWake(Cycle at)
+    {
+        minReady_ = std::min(minReady_, at);
+    }
 
   private:
     void execute(Thread &t, Cycle now, CacheHierarchy &hier,
                  SyncState &sync);
 
+    /** Recompute the exact minimum ready cycle over runnable threads. */
+    void recomputeReady();
+
     int id_;
     std::vector<Thread *> threads_;
     int rr_ = 0;
+    int nDone_ = 0;
+    Cycle minReady_ = 0;
 };
 
 } // namespace archsim

@@ -26,12 +26,17 @@ assemble(std::vector<std::unique_ptr<Thread>> &threads,
     for (auto &t : threads)
         all.push_back(t.get());
     sync = std::make_unique<SyncState>(all);
+    cores.reserve(n_cores);
     for (int c = 0; c < n_cores; ++c) {
         std::vector<Thread *> mine(
             all.begin() + std::size_t(c) * threads_per_core,
             all.begin() + std::size_t(c + 1) * threads_per_core);
         cores.emplace_back(c, std::move(mine));
     }
+    // Thread -> core back-pointers (for O(1) wake notifications) only
+    // once every Core has its final address in the vector.
+    for (Core &core : cores)
+        core.wire();
 }
 
 } // namespace

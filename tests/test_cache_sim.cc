@@ -17,13 +17,53 @@ TEST(SetAssocCache, RejectsBadGeometry)
     EXPECT_THROW(SetAssocCache(40 << 10, 3, 64), std::invalid_argument);
 }
 
+TEST(SetAssocCache, RejectsNonPowerOfTwoLineSize)
+{
+    try {
+        SetAssocCache c(32 << 10, 8, 48);
+        FAIL() << "48-byte lines accepted";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("power of two"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SetAssocCache, RejectsCapacityNotMultipleOfSet)
+{
+    // 32 KiB + 256 B across 8 ways of 64 B is not a whole number of
+    // sets (64.5).
+    try {
+        SetAssocCache c((32 << 10) + 256, 8, 64);
+        FAIL() << "fractional set count accepted";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("multiple"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SetAssocCache, RejectsNonPowerOfTwoSetCount)
+{
+    // 24 KiB / (8 ways * 64 B) = 48 sets: divisible, but not a power
+    // of two, so shift-and-mask indexing would alias.
+    try {
+        SetAssocCache c(24 << 10, 8, 64);
+        FAIL() << "48 sets accepted";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("power-of-two"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(SetAssocCache, MissThenHit)
 {
     SetAssocCache c(32 << 10, 8, 64);
     EXPECT_EQ(c.find(0x1000), nullptr);
     c.insert(0x1000, CState::Exclusive);
     ASSERT_NE(c.find(0x1000), nullptr);
-    EXPECT_EQ(c.find(0x1000)->state, CState::Exclusive);
+    EXPECT_EQ(c.find(0x1000)->state(), CState::Exclusive);
 }
 
 TEST(SetAssocCache, SameLineDifferentWordsHit)
@@ -86,6 +126,62 @@ TEST(SetAssocCache, ProbeDoesNotDisturbLru)
     const auto v = c.insert(2 * stride, CState::Exclusive);
     ASSERT_TRUE(v.valid);
     EXPECT_EQ(v.addr, 0 * stride); // 0 was still LRU
+}
+
+TEST(SetAssocCache, MruHintSurvivesInvalidation)
+{
+    // Invalidate the hinted (most recently touched) way, then look up
+    // another line in the same set: the stale hint must fall through to
+    // the scan, not return the dead way or miss.
+    SetAssocCache c(8 << 10, 2, 64);
+    const Addr stride = 64 * 64; // same set
+    c.insert(0 * stride, CState::Exclusive);
+    c.insert(1 * stride, CState::Exclusive); // hint -> way of line 1
+    c.invalidate(1 * stride);
+    EXPECT_EQ(c.probe(1 * stride), nullptr);
+    ASSERT_NE(c.probe(0 * stride), nullptr);
+    EXPECT_EQ(c.probe(0 * stride)->state(), CState::Exclusive);
+}
+
+TEST(SetAssocCache, MruHintPingPongStaysCorrect)
+{
+    // Alternate between two lines that map to the same set so the hint
+    // is wrong on every other access; results must be identical to a
+    // hintless cache.
+    SetAssocCache c(8 << 10, 2, 64);
+    const Addr stride = 64 * 64;
+    c.insert(0 * stride, CState::Shared);
+    c.insert(1 * stride, CState::Modified);
+    for (int i = 0; i < 100; ++i) {
+        const Addr a = (i & 1) * stride;
+        auto *l = c.find(a);
+        ASSERT_NE(l, nullptr) << "iteration " << i;
+        EXPECT_EQ(l->state(),
+                  (i & 1) ? CState::Modified : CState::Shared);
+    }
+    // A third line still evicts exact LRU (line 0 was touched last at
+    // an even i < line 1's last odd i, so line 0 is the victim).
+    const auto v = c.insert(2 * stride, CState::Exclusive);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.addr, 0 * stride);
+}
+
+TEST(SetAssocCache, LinePackingRoundTrips)
+{
+    // The packed tag/state word must round-trip both fields for large
+    // tags (high address bits) and all four states.
+    SetAssocCache::Line l;
+    EXPECT_EQ(l.state(), CState::Invalid); // zero-init is invalid
+    const std::uint64_t tag = 0x3FFFFFFFFFFFFFull;
+    for (CState s : {CState::Shared, CState::Exclusive, CState::Modified,
+                     CState::Invalid}) {
+        l.reset(tag, s);
+        EXPECT_EQ(l.tag(), tag);
+        EXPECT_EQ(l.state(), s);
+        l.setState(CState::Modified);
+        EXPECT_EQ(l.tag(), tag) << "setState clobbered the tag";
+        EXPECT_EQ(l.state(), CState::Modified);
+    }
 }
 
 TEST(SetAssocCache, WritableStates)

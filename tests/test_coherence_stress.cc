@@ -50,6 +50,13 @@ stress(bool with_l3, std::uint64_t seed, int accesses, int lines)
         ASSERT_TRUE(h.coherent(addr))
             << "incoherent after access " << i << " core " << core
             << (write ? " write " : " read ") << std::hex << addr;
+        // Snoop-filter equivalence: the directory entry for this line
+        // must equal the sharer mask / dirty owner rebuilt from the L2
+        // tag arrays.
+        ASSERT_TRUE(h.snoopFilterConsistent(addr))
+            << "snoop filter diverged after access " << i << " core "
+            << core << (write ? " write " : " read ") << std::hex
+            << addr;
         if (write) {
             // The writer must now hold a writable copy locally.
             ASSERT_TRUE(writable(h.l2State(core, addr)))
@@ -57,9 +64,12 @@ stress(bool with_l3, std::uint64_t seed, int accesses, int lines)
         }
         touched.push_back(addr);
         if (i % 64 == 0) {
-            // Periodically audit a sample of history.
+            // Periodically audit a sample of history, plus the whole
+            // directory against the whole set of L2 arrays.
             for (std::size_t k = 0; k < touched.size(); k += 17)
                 ASSERT_TRUE(h.coherent(touched[k]));
+            ASSERT_TRUE(h.snoopFilterConsistent())
+                << "full directory audit failed after access " << i;
         }
     }
 }
@@ -173,7 +183,14 @@ propertyStress(bool with_l3, std::uint64_t seed, int accesses,
             }
         }
         ASSERT_TRUE(h.coherent(addr));
+        ASSERT_TRUE(h.snoopFilterConsistent(addr))
+            << "snoop filter diverged, access " << i;
+        if (i % 128 == 0) {
+            ASSERT_TRUE(h.snoopFilterConsistent());
+        }
     }
+    ASSERT_TRUE(h.snoopFilterConsistent())
+        << "final full directory audit failed";
 }
 
 TEST(CoherenceProperties, RandomInterleavingsWithL3)
@@ -189,6 +206,35 @@ TEST(CoherenceProperties, RandomInterleavingsWithoutL3)
 TEST(CoherenceProperties, SingleLineContention)
 {
     propertyStress(true, 0xACE, 2000, 1);
+}
+
+TEST(CoherenceStress, BroadcastFallbackBeyondFilterWidth)
+{
+    // Wider than the filter supports: the hierarchy must drop back to
+    // broadcast snooping (no directory) and stay coherent.
+    constexpr int kCores = SnoopFilter::kMaxCores + 1;
+    HierarchyParams hp = stressSystem(true);
+    hp.nCores = kCores;
+    CacheHierarchy h(hp);
+    ASSERT_EQ(h.snoopFilter(), nullptr);
+
+    Rng rng(0xFA11);
+    Cycle now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = rng.below(48) * 64;
+        const int core = int(rng.below(kCores));
+        const bool write = rng.uniform() < 0.4;
+        const auto r = h.access(core, addr, write, false, now);
+        now += r.latency + 1;
+        ASSERT_TRUE(h.coherent(addr)) << "access " << i;
+        // Trivially true without a filter, but must not crash.
+        ASSERT_TRUE(h.snoopFilterConsistent(addr));
+        if (write) {
+            ASSERT_TRUE(writable(h.l2State(core, addr)))
+                << "writer lacks ownership, access " << i;
+        }
+    }
+    ASSERT_TRUE(h.snoopFilterConsistent());
 }
 
 class CoherencePropertySeeds : public ::testing::TestWithParam<int>

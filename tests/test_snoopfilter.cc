@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the snoop-filter sharer directory: insert/evict
+ * bookkeeping, dirty-owner tracking, hash aliasing under growth, and
+ * tombstone reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/cache/snoopfilter.hh"
+#include "sim/common.hh"
+
+namespace {
+
+using namespace archsim;
+
+TEST(SnoopFilter, RejectsBadCoreCounts)
+{
+    EXPECT_THROW(SnoopFilter(0), std::invalid_argument);
+    EXPECT_THROW(SnoopFilter(-1), std::invalid_argument);
+    EXPECT_THROW(SnoopFilter(SnoopFilter::kMaxCores + 1),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(SnoopFilter(SnoopFilter::kMaxCores));
+}
+
+TEST(SnoopFilter, AbsentLineHasNoSharers)
+{
+    SnoopFilter f(8);
+    EXPECT_EQ(f.sharers(0x1000), 0u);
+    EXPECT_EQ(f.owner(0x1000), -1);
+    EXPECT_EQ(f.size(), 0u);
+}
+
+TEST(SnoopFilter, AddRemoveSharerRoundTrip)
+{
+    SnoopFilter f(8);
+    f.addSharer(0x40, 3);
+    f.addSharer(0x40, 5);
+    EXPECT_EQ(f.sharers(0x40), (1u << 3) | (1u << 5));
+    EXPECT_EQ(f.size(), 1u);
+
+    f.removeSharer(0x40, 3);
+    EXPECT_EQ(f.sharers(0x40), 1u << 5);
+    f.removeSharer(0x40, 5);
+    EXPECT_EQ(f.sharers(0x40), 0u);
+    EXPECT_EQ(f.size(), 0u); // zero-mask entries die
+}
+
+TEST(SnoopFilter, AddSharerIsIdempotent)
+{
+    SnoopFilter f(4);
+    f.addSharer(0x80, 2);
+    f.addSharer(0x80, 2);
+    EXPECT_EQ(f.sharers(0x80), 1u << 2);
+    EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(SnoopFilter, OwnerFollowsSharer)
+{
+    SnoopFilter f(8);
+    f.addSharer(0xC0, 1);
+    EXPECT_EQ(f.owner(0xC0), -1); // present but clean
+    f.setOwner(0xC0, 1);
+    EXPECT_EQ(f.owner(0xC0), 1);
+
+    // Evicting the owner clears ownership; other sharers keep theirs.
+    f.addSharer(0xC0, 6);
+    f.removeSharer(0xC0, 1);
+    EXPECT_EQ(f.owner(0xC0), -1);
+    EXPECT_EQ(f.sharers(0xC0), 1u << 6);
+}
+
+TEST(SnoopFilter, RemoveNonSharerIsNoOp)
+{
+    SnoopFilter f(8);
+    f.addSharer(0x100, 0);
+    f.removeSharer(0x100, 7); // not a sharer
+    f.removeSharer(0x900, 0); // line absent
+    EXPECT_EQ(f.sharers(0x100), 1u);
+    EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(SnoopFilter, DistinctLinesStayDistinctUnderGrowth)
+{
+    // Far more lines than the initial table: forces growth and plenty
+    // of probe-chain aliasing.  Line addresses are 64-byte aligned like
+    // real traffic, so the low bits carry no entropy.
+    SnoopFilter f(16, 8);
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        f.addSharer(Addr(i) * 64, i % 16);
+    EXPECT_EQ(f.size(), std::size_t(n));
+    for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(f.sharers(Addr(i) * 64), 1u << (i % 16))
+            << "line " << i;
+    }
+}
+
+TEST(SnoopFilter, TombstonesAreReclaimed)
+{
+    // Churn far more distinct lines through the filter than are ever
+    // live: the table must stay bounded by the live count, not by the
+    // history (tombstones drop at rehash).
+    SnoopFilter f(8, 8);
+    for (int i = 0; i < 100000; ++i) {
+        const Addr line = Addr(i) * 64;
+        f.addSharer(line, i % 8);
+        if (i >= 16)
+            f.removeSharer(Addr(i - 16) * 64, (i - 16) % 8);
+    }
+    EXPECT_LE(f.size(), 17u);
+    EXPECT_LE(f.capacity(), 4096u)
+        << "table grew with history instead of live lines";
+}
+
+TEST(SnoopFilter, ReAddAfterRemovalRevivesEntry)
+{
+    SnoopFilter f(8);
+    f.addSharer(0x2000, 2);
+    f.removeSharer(0x2000, 2);
+    f.addSharer(0x2000, 4); // revives the tombstoned slot
+    EXPECT_EQ(f.sharers(0x2000), 1u << 4);
+    EXPECT_EQ(f.owner(0x2000), -1);
+    EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(SnoopFilter, EntriesSnapshotMatches)
+{
+    SnoopFilter f(8);
+    f.addSharer(0x40, 1);
+    f.addSharer(0x80, 2);
+    f.addSharer(0x80, 3);
+    f.setOwner(0x40, 1);
+
+    std::vector<SnoopFilter::Entry> e = f.entries();
+    ASSERT_EQ(e.size(), 2u);
+    std::sort(e.begin(), e.end(),
+              [](const auto &a, const auto &b) { return a.line < b.line; });
+    EXPECT_EQ(e[0].line, 0x40u);
+    EXPECT_EQ(e[0].sharers, 1u << 1);
+    EXPECT_EQ(e[0].owner, 1);
+    EXPECT_EQ(e[1].line, 0x80u);
+    EXPECT_EQ(e[1].sharers, (1u << 2) | (1u << 3));
+    EXPECT_EQ(e[1].owner, -1);
+}
+
+TEST(SnoopFilter, RandomizedMirrorsReferenceMap)
+{
+    // Drive random add/remove/setOwner traffic and mirror it in a
+    // dense reference array; the filter must agree at every step.
+    constexpr int kLines = 96;
+    constexpr int kCores = 8;
+    SnoopFilter f(kCores, 16);
+    std::vector<std::uint16_t> ref(kLines, 0);
+    std::vector<int> owner(kLines, -1);
+    Rng rng(0xD1CE);
+    for (int i = 0; i < 20000; ++i) {
+        const int line = int(rng.below(kLines));
+        const Addr addr = Addr(line) * 64;
+        const int core = int(rng.below(kCores));
+        const double u = rng.uniform();
+        if (u < 0.45) {
+            f.addSharer(addr, core);
+            ref[line] |= std::uint16_t(1u << core);
+        } else if (u < 0.85) {
+            f.removeSharer(addr, core);
+            ref[line] &= std::uint16_t(~(1u << core));
+            if (owner[line] == core)
+                owner[line] = -1;
+        } else if (ref[line] & (1u << core)) {
+            f.setOwner(addr, core);
+            owner[line] = core;
+        }
+        ASSERT_EQ(f.sharers(addr), ref[line]) << "step " << i;
+        ASSERT_EQ(f.owner(addr), owner[line]) << "step " << i;
+    }
+}
+
+} // namespace
