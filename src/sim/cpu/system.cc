@@ -89,11 +89,17 @@ System::run(EpochRecorder *rec)
     for (;;) {
         bool all_done = true;
         bool issued = false;
+        // The jump target for the no-issue case is collected during
+        // the same pass over the cores: when nothing issues, no wake
+        // can have moved any core's O(1) minReady_ cache, so the
+        // values read here equal a post-pass rescan.
+        Cycle next = std::numeric_limits<Cycle>::max();
         for (Core &core : cores_) {
             if (core.done())
                 continue;
             all_done = false;
             issued |= core.step(cycle, hier_, *sync_);
+            next = std::min(next, core.nextReady());
         }
         if (all_done)
             break;
@@ -105,9 +111,6 @@ System::run(EpochRecorder *rec)
             // If every remaining thread is blocked on synchronization
             // only, time still advances by one (releases happen at
             // issue time).
-            Cycle next = std::numeric_limits<Cycle>::max();
-            for (const Core &core : cores_)
-                next = std::min(next, core.nextReady());
             cycle = next == std::numeric_limits<Cycle>::max()
                         ? cycle + 1
                         : std::max(next, cycle + 1);
