@@ -59,8 +59,15 @@ SyncState::arriveBarrier(Thread &t, Cycle now)
 }
 
 void
-SyncState::threadFinished(Cycle now)
+SyncState::threadFinished(Thread &t, Cycle now)
 {
+    // A thread whose final instruction was a failed Lock sits in the
+    // queue as done(); handing it the lock later would strand every
+    // other waiter forever.  It retired, so no stall is attributed.
+    if (t.waitingLock) {
+        t.waitingLock = false;
+        std::erase(lockQueue_, &t);
+    }
     // A thread that retires its budget between Lock and Unlock must not
     // strand the waiters.
     if (holder_ && holder_->done())
@@ -186,7 +193,7 @@ Core::execute(Thread &t, Cycle now, CacheHierarchy &hier,
     }
 
     if (t.done())
-        sync.threadFinished(now);
+        sync.threadFinished(t, now);
 }
 
 bool

@@ -94,8 +94,13 @@ class SyncState
     /** Current lock holder (nullptr when free). */
     Thread *lockHolder() const { return holder_; }
 
-    /** A thread retired its final instruction (may release a barrier). */
-    void threadFinished(Cycle now);
+    /**
+     * Thread @p t retired its final instruction: drop it from the lock
+     * queue if its last instruction was a failed Lock (the lock must
+     * never be handed to a retired thread), release the lock if @p t
+     * holds it, and release the barrier if @p t was the last arrival.
+     */
+    void threadFinished(Thread &t, Cycle now);
 
     /** Try to take the lock; on failure the thread blocks. */
     bool acquireLock(Thread &t, Cycle now);

@@ -108,12 +108,16 @@ System::run(EpochRecorder *rec)
             ++cycle;
         } else {
             // Nothing could issue: jump to the next thread wake-up.
-            // If every remaining thread is blocked on synchronization
-            // only, time still advances by one (releases happen at
-            // issue time).
-            cycle = next == std::numeric_limits<Cycle>::max()
-                        ? cycle + 1
-                        : std::max(next, cycle + 1);
+            // No wake can ever arrive when nothing issued and no
+            // thread has a finite ready cycle (wakes only happen at
+            // issue time), so that state is a genuine deadlock.
+            if (next == std::numeric_limits<Cycle>::max()) {
+                throw std::runtime_error(
+                    "simulation deadlock: all remaining threads are "
+                    "blocked on synchronization at cycle " +
+                    std::to_string(cycle));
+            }
+            cycle = std::max(next, cycle + 1);
         }
 
         if (rec && rec->due(cycle)) {

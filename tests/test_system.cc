@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <stdexcept>
+
 #include "sim/cpu/system.hh"
+#include "sim/workload/trace_file.hh"
 
 namespace {
 
@@ -162,6 +166,44 @@ TEST(System, L3HelpsCacheFittingWorkload)
     const SimStats a = System(with_l3, w, 20000).run();
     const SimStats b = System(no_l3, w, 20000).run();
     EXPECT_LT(a.cycles, b.cycles);
+}
+
+TEST(SyncState, FinishedWaiterNeverReceivesLock)
+{
+    // Regression: a thread whose final instruction is a failed Lock is
+    // done() while still queued.  Handing it the lock would strand all
+    // later waiters (the retired thread never runs Unlock).
+    const WorkloadParams w = computeBound();
+    Thread a(w, 0, 3, 10), b(w, 1, 3, 10), c(w, 2, 3, 10);
+    SyncState sync({&a, &b, &c});
+    EXPECT_TRUE(sync.acquireLock(a, 0));
+    EXPECT_FALSE(sync.acquireLock(b, 5)); // queued
+    EXPECT_FALSE(sync.acquireLock(c, 6)); // queued behind b
+    b.stats.instructions = b.maxInst;     // b retires while waiting
+    sync.threadFinished(b, 6);
+    EXPECT_FALSE(b.waitingLock);
+    sync.releaseLock(10);
+    // The lock skips the retired b and goes to c; b gets no lock-stall
+    // attribution (it retired, the stall never materialized).
+    EXPECT_EQ(sync.lockHolder(), &c);
+    EXPECT_EQ(b.stats.lock, 0u);
+    EXPECT_GT(c.stats.lock, 0u);
+}
+
+TEST(System, DeadlockThrowsInsteadOfSpinning)
+{
+    // Thread 0 takes the lock then waits at the barrier; thread 1
+    // blocks on the lock and never arrives.  Nothing can ever issue
+    // again — the loop must report it rather than spin forever.
+    std::istringstream in("0 K\n"
+                          "0 B\n"
+                          "0 F\n"
+                          "1 K\n"
+                          "1 F\n"
+                          "1 F\n");
+    const TraceFile trace = TraceFile::load(in);
+    System sys(tinySystem(), trace, 3, 1, 2);
+    EXPECT_THROW(sys.run(), std::runtime_error);
 }
 
 TEST(System, ReadLatencyAtLeastL1Latency)
