@@ -6,6 +6,7 @@
 #include "sim/cpu/core.hh"
 
 #include <limits>
+#include <stdexcept>
 
 namespace archsim {
 
@@ -196,13 +197,9 @@ Core::execute(Thread &t, Cycle now, CacheHierarchy &hier,
         sync.threadFinished(t, now);
 }
 
-bool
+void
 Core::step(Cycle now, CacheHierarchy &hier, SyncState &sync)
 {
-    // O(1) skip for the common case: nothing runnable this cycle
-    // (minReady_ is ~0 when every thread is done or blocked).
-    if (minReady_ > now)
-        return false;
     const int n = static_cast<int>(threads_.size());
     for (int i = 0; i < n; ++i) {
         Thread &t = *threads_[(rr_ + i) % n];
@@ -217,12 +214,10 @@ Core::step(Cycle now, CacheHierarchy &hier, SyncState &sync)
         // sync releases inside execute() already lowered minima via
         // noteWake.  Rescanning our four threads keeps the cache exact.
         recomputeReady();
-        return true;
+        return;
     }
-    // Unreachable while the cache is exact, but never wrong: fall back
-    // to a fresh scan.
-    recomputeReady();
-    return false;
+    throw std::logic_error("Core::step: ready cache out of sync "
+                           "(no runnable thread at an eligible cycle)");
 }
 
 } // namespace archsim

@@ -7,14 +7,15 @@
  * cycle is generated to the L1.  Threads block in order on memory,
  * barriers, and locks.
  *
- * Each core keeps ready bookkeeping so the per-cycle system loop is
- * O(1) for cores that cannot issue: a cached minimum ready cycle over
- * the runnable threads (exact, maintained at every readyAt change)
- * and a retired-thread count.  Synchronization wake-ups notify the
- * woken thread's core through Thread::core.  The bookkeeping changes
- * only how fast the scheduler finds work — issue order, cycle
- * progression and every statistic are identical to the scan-everything
- * loop.
+ * Each core keeps ready bookkeeping so the system scheduler never
+ * polls: a cached minimum ready cycle over the runnable threads
+ * (exact, maintained at every readyAt change) and a retired-thread
+ * count.  Synchronization wake-ups notify the woken thread's core
+ * through Thread::core, and the core forwards minimum-lowering wakes
+ * to the system's ReadyQueue (sim/cpu/sched.hh) when one is attached.
+ * The bookkeeping changes only how fast the scheduler finds work —
+ * issue order, cycle progression and every statistic are identical to
+ * the scan-everything loop.
  */
 
 #ifndef ARCHSIM_CPU_CORE_HH
@@ -28,6 +29,7 @@
 
 #include "sim/cache/coherence.hh"
 #include "sim/common.hh"
+#include "sim/cpu/sched.hh"
 #include "sim/workload/trace_gen.hh"
 
 namespace archsim {
@@ -136,8 +138,12 @@ class Core
      */
     void wire();
 
-    /** Issue at most one instruction this cycle; true if issued. */
-    bool step(Cycle now, CacheHierarchy &hier, SyncState &sync);
+    /**
+     * Issue one instruction at cycle @p now.  Precondition:
+     * nextReady() <= @p now — callers schedule only eligible cores,
+     * and the exact ready cache then guarantees a runnable thread.
+     */
+    void step(Cycle now, CacheHierarchy &hier, SyncState &sync);
 
     /** Earliest cycle at which any thread could issue (or ~0 if none). */
     Cycle nextReady() const { return minReady_; }
@@ -150,14 +156,27 @@ class Core
     }
 
     /**
+     * Register the system's ready-queue: wake-ups that lower the
+     * cached minimum are offered to it so the event-driven loop hears
+     * about this core without polling.
+     */
+    void attach(ReadyQueue *rq) { rq_ = rq; }
+
+    /**
      * A blocked thread of this core became runnable at cycle @p at
      * (barrier release, lock hand-off).  Keeps the cached minimum
-     * exact without a rescan.
+     * exact without a rescan.  When @p at does not lower the minimum
+     * no key is offered: the queue already holds one at the (equal or
+     * earlier) current minimum.
      */
     void
     noteWake(Cycle at)
     {
-        minReady_ = std::min(minReady_, at);
+        if (at < minReady_) {
+            minReady_ = at;
+            if (rq_)
+                rq_->offer(at, id_);
+        }
     }
 
   private:
@@ -169,6 +188,7 @@ class Core
 
     int id_;
     std::vector<Thread *> threads_;
+    ReadyQueue *rq_ = nullptr;
     int rr_ = 0;
     int nDone_ = 0;
     Cycle minReady_ = 0;

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Ready-queue construction.
+ */
+
+#include "sim/cpu/sched.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace archsim {
+
+ReadyQueue::ReadyQueue(std::size_t n_cores)
+{
+    if (n_cores > (std::size_t(1) << kIdBits)) {
+        throw std::invalid_argument(
+            "ReadyQueue: " + std::to_string(n_cores) +
+            " cores exceed the " + std::to_string(1 << kIdBits) +
+            "-core id field");
+    }
+    // The steady state is a handful of keys per core (pending wakes
+    // plus one fresh key); pre-size the backing store so early rounds
+    // do not reallocate.
+    std::vector<Cycle> store;
+    store.reserve(4 * n_cores + 16);
+    heap_ = decltype(heap_)(std::greater<Cycle>(), std::move(store));
+}
+
+} // namespace archsim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ready-queue scheduler for the event-driven system loop.
+ *
+ * A min-heap of (wake-up cycle, core id) keys packed into one 64-bit
+ * word, so the heap pops in (cycle, id) lexicographic order and
+ * same-cycle cores come out in ascending id — the exact order the
+ * scan-everything loop steps them in.
+ *
+ * Keys are lazy: a core may have several queued keys (one per wake
+ * notification), of which at most one matches the core's current
+ * nextReady().  The maintained invariant is that every live core with
+ * a finite nextReady() always has at least one queued key equal to
+ * it; consumers pass a freshness probe (id -> current ready cycle) so
+ * stale keys are discarded when popped, never acted on.  In
+ * particular a jump target is only ever taken from a *fresh* top key:
+ * jumping to a stale-low key would visit a cycle the reference loop
+ * never visits and could close an epoch at the wrong cycle.
+ */
+
+#ifndef ARCHSIM_CPU_SCHED_HH
+#define ARCHSIM_CPU_SCHED_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "sim/common.hh"
+
+namespace archsim {
+
+/** Lazy min-heap of per-core wake-up cycles. */
+class ReadyQueue
+{
+  public:
+    /** @throws std::invalid_argument if @p n_cores exceeds the id field. */
+    explicit ReadyQueue(std::size_t n_cores);
+
+    /**
+     * Queue a key: @p core may issue at cycle @p when.  Offers at or
+     * beyond kNever (e.g. the "no runnable thread" sentinel) are
+     * dropped — such cores re-enter the queue via a later wake.
+     */
+    void
+    offer(Cycle when, int core)
+    {
+        if (when >= kNever)
+            return;
+        heap_.push((when << kIdBits) | Cycle(core));
+    }
+
+    /**
+     * Pop every key at or before @p now and append the distinct core
+     * ids whose fresh ready cycle is still <= @p now to @p out in
+     * ascending id order.  Stale keys (fresh(id) > now, e.g. done
+     * cores) are discarded.  The popped cores' fresh keys leave the
+     * queue: the caller must re-offer each core after stepping it.
+     */
+    template <typename Fresh>
+    void
+    collect(Cycle now, Fresh &&fresh, std::vector<int> &out)
+    {
+        out.clear();
+        while (!heap_.empty() && keyWhen(heap_.top()) <= now) {
+            const int id = keyCore(heap_.top());
+            heap_.pop();
+            if (fresh(id) <= now)
+                out.push_back(id);
+        }
+        if (out.size() > 1) {
+            std::sort(out.begin(), out.end());
+            out.erase(std::unique(out.begin(), out.end()), out.end());
+        }
+    }
+
+    /**
+     * Earliest cycle at which any core can issue, discarding stale
+     * keys from the top; ~0 when no core will ever become ready.
+     */
+    template <typename Fresh>
+    Cycle
+    nextTime(Fresh &&fresh)
+    {
+        while (!heap_.empty()) {
+            const Cycle w = keyWhen(heap_.top());
+            if (fresh(keyCore(heap_.top())) == w)
+                return w;
+            heap_.pop();
+        }
+        return std::numeric_limits<Cycle>::max();
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Cycles at or beyond this value are "never" and are not queued. */
+    static constexpr int kIdBits = 16;
+    static constexpr Cycle kNever = Cycle(1) << (64 - kIdBits);
+
+  private:
+    static Cycle keyWhen(Cycle key) { return key >> kIdBits; }
+    static int
+    keyCore(Cycle key)
+    {
+        return int(key & ((Cycle(1) << kIdBits) - 1));
+    }
+
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
+        heap_;
+};
+
+} // namespace archsim
+
+#endif // ARCHSIM_CPU_SCHED_HH

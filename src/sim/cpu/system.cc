@@ -78,12 +78,76 @@ System::run(EpochRecorder *rec)
     OBS_PROFILE_SCOPE("sim.run");
     if (rec)
         rec->start(hier_.params());
-    const auto total_instructions = [this] {
-        std::uint64_t n = 0;
-        for (const auto &t : threads_)
-            n += t->stats.instructions;
-        return n;
+
+    // Event-driven loop: cores come off a lazy min-heap keyed on
+    // their next ready cycle instead of being scanned every cycle.
+    // The visited-cycle sequence, per-cycle step order (ascending
+    // core id) and epoch sampling points are identical to
+    // runReference(): a cycle's eligible set is fixed before the
+    // first step of that cycle (wakes always land at now + 1), and a
+    // core issues if and only if its exact minReady_ cache is due.
+    ReadyQueue rq(cores_.size());
+    const auto fresh = [this](int id) {
+        const Core &c = cores_[std::size_t(id)];
+        return c.done() ? std::numeric_limits<Cycle>::max()
+                        : c.nextReady();
     };
+    int cores_left = 0;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        cores_[i].attach(&rq);
+        if (cores_[i].done())
+            continue;
+        ++cores_left;
+        rq.offer(cores_[i].nextReady(), int(i));
+    }
+
+    Cycle cycle = 0;
+    std::vector<int> eligible;
+    eligible.reserve(cores_.size());
+    while (cores_left > 0) {
+        rq.collect(cycle, fresh, eligible);
+        if (!eligible.empty()) {
+            for (const int id : eligible) {
+                Core &core = cores_[std::size_t(id)];
+                core.step(cycle, hier_, *sync_);
+                if (core.done())
+                    --cores_left;
+                else
+                    rq.offer(core.nextReady(), id);
+            }
+            ++cycle;
+        } else {
+            // Nothing eligible: jump to the next fresh wake-up.  The
+            // reference loop visits the cycle after an issue
+            // unconditionally; collect() at that cycle is an O(1)
+            // empty pop, matching its cheap no-issue pass.
+            const Cycle next = rq.nextTime(fresh);
+            if (next == std::numeric_limits<Cycle>::max()) {
+                throw std::runtime_error(
+                    "simulation deadlock: all remaining threads are "
+                    "blocked on synchronization at cycle " +
+                    std::to_string(cycle));
+            }
+            cycle = next;
+        }
+
+        if (rec && rec->due(cycle)) {
+            OBS_EVENT(trace_, .name = "epoch", .cat = "sim", .ph = 'i',
+                      .ts = cycle, .argName = "index",
+                      .argValue = std::uint64_t(rec->samples().size()));
+            rec->close(cycle, totalInstructions(), hier_.counters(),
+                       hier_.llc(), hier_.dramCounters());
+        }
+    }
+    return finalize(cycle, rec);
+}
+
+SimStats
+System::runReference(EpochRecorder *rec)
+{
+    OBS_PROFILE_SCOPE("sim.run");
+    if (rec)
+        rec->start(hier_.params());
 
     Cycle cycle = 0;
     for (;;) {
@@ -98,7 +162,10 @@ System::run(EpochRecorder *rec)
             if (core.done())
                 continue;
             all_done = false;
-            issued |= core.step(cycle, hier_, *sync_);
+            if (core.nextReady() <= cycle) {
+                core.step(cycle, hier_, *sync_);
+                issued = true;
+            }
             next = std::min(next, core.nextReady());
         }
         if (all_done)
@@ -124,10 +191,25 @@ System::run(EpochRecorder *rec)
             OBS_EVENT(trace_, .name = "epoch", .cat = "sim", .ph = 'i',
                       .ts = cycle, .argName = "index",
                       .argValue = std::uint64_t(rec->samples().size()));
-            rec->close(cycle, total_instructions(), hier_.counters(),
+            rec->close(cycle, totalInstructions(), hier_.counters(),
                        hier_.llc(), hier_.dramCounters());
         }
     }
+    return finalize(cycle, rec);
+}
+
+std::uint64_t
+System::totalInstructions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : threads_)
+        n += t->stats.instructions;
+    return n;
+}
+
+SimStats
+System::finalize(Cycle cycle, EpochRecorder *rec)
+{
     // One run-spanning slice so Perfetto frames the event stream.
     OBS_EVENT(trace_, .name = "run", .cat = "sim", .ph = 'X', .ts = 0,
               .dur = cycle);
@@ -179,7 +261,7 @@ System::run(EpochRecorder *rec)
     if (rec) {
         // Close the final (partial) epoch after the trailing idle
         // time has been accounted.
-        rec->close(cycle, total_instructions(), hier_.counters(),
+        rec->close(cycle, totalInstructions(), hier_.counters(),
                    hier_.llc(), hier_.dramCounters());
     }
     return s;

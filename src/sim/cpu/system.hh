@@ -78,8 +78,21 @@ class System
      * Run to completion and return the statistics.  When @p rec is
      * given, counter deltas are sampled into it at every epoch
      * boundary (see sim/metrics.hh).
+     *
+     * Event-driven: cores are stepped off a ready-queue instead of
+     * being scanned every cycle, with byte-identical observables to
+     * runReference() (same issue order, cycle progression, counters,
+     * epoch samples and trace events).  A System can be run once;
+     * call either run() or runReference(), not both.
      */
     SimStats run(EpochRecorder *rec = nullptr);
+
+    /**
+     * Reference implementation: the original scan-every-core cycle
+     * loop, kept as the executable specification that run() is tested
+     * and benchmarked against.
+     */
+    SimStats runReference(EpochRecorder *rec = nullptr);
 
     CacheHierarchy &hierarchy() { return hier_; }
 
@@ -98,6 +111,12 @@ class System
     }
 
   private:
+    /** Sum of retired instructions over all threads. */
+    std::uint64_t totalInstructions() const;
+
+    /** Close the run at @p end and assemble the aggregate statistics. */
+    SimStats finalize(Cycle end, EpochRecorder *rec);
+
     CacheHierarchy hier_;
     std::vector<std::unique_ptr<Thread>> threads_;
     std::vector<Core> cores_;
