@@ -73,11 +73,14 @@ System::System(const HierarchyParams &hp, const TraceFile &trace,
 }
 
 SimStats
-System::run(EpochRecorder *rec)
+System::run(EpochRecorder *rec, SimMode mode)
 {
     OBS_PROFILE_SCOPE("sim.run");
     if (rec)
         rec->start(hier_.params());
+    const bool exact = mode == SimMode::Exact;
+    if (exact)
+        hier_.memory().setEventDriven(true);
 
     // Event-driven loop: cores come off a lazy min-heap keyed on
     // their next ready cycle instead of being scanned every cycle.
@@ -131,7 +134,9 @@ System::run(EpochRecorder *rec)
             cycle = next;
         }
 
-        if (rec && rec->due(cycle)) {
+        if (exact) {
+            advanceEventsTo(cycle, rec);
+        } else if (rec && rec->due(cycle)) {
             OBS_EVENT(trace_, .name = "epoch", .cat = "sim", .ph = 'i',
                       .ts = cycle, .argName = "index",
                       .argValue = std::uint64_t(rec->samples().size()));
@@ -140,6 +145,30 @@ System::run(EpochRecorder *rec)
         }
     }
     return finalize(cycle, rec);
+}
+
+void
+System::advanceEventsTo(Cycle now, EpochRecorder *rec)
+{
+    constexpr Cycle kMax = std::numeric_limits<Cycle>::max();
+    for (;;) {
+        const Cycle mem = hier_.memory().nextEvent();
+        const Cycle boundary = rec ? rec->nextBoundary() : kMax;
+        if (mem <= now && mem < boundary) {
+            hier_.memory().fireEventsUpTo(mem);
+        } else if (rec && boundary <= now) {
+            // Close at the exact boundary cycle.  No instructions
+            // retire between the last visited cycle and @p now, so
+            // the instruction total is already the boundary's value.
+            OBS_EVENT(trace_, .name = "epoch", .cat = "sim", .ph = 'i',
+                      .ts = boundary, .argName = "index",
+                      .argValue = std::uint64_t(rec->samples().size()));
+            rec->close(boundary, totalInstructions(), hier_.counters(),
+                       hier_.llc(), hier_.dramCounters());
+        } else {
+            return;
+        }
+    }
 }
 
 SimStats

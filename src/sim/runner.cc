@@ -97,12 +97,14 @@ StudyRunner::execute(const std::string &config,
     obs::TraceBuffer trace(opts_.trace ? opts_.traceCapacity : 0);
     if (opts_.trace)
         sys.setTrace(&trace);
+    const SimMode mode =
+        opts_.exactEvents ? SimMode::Exact : SimMode::Golden;
     if (opts_.epochCycles > 0) {
         EpochRecorder rec(opts_.epochCycles);
-        r.stats = sys.run(&rec);
+        r.stats = sys.run(&rec, mode);
         r.epochs = rec.take();
     } else {
-        r.stats = sys.run();
+        r.stats = sys.run(nullptr, mode);
     }
     if (opts_.trace) {
         r.traceDropped = trace.dropped(); // take() resets the count

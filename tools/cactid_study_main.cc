@@ -62,6 +62,10 @@ printHelp()
         "  --csv FILE         write per-epoch metrics CSV (- for stdout)\n"
         "  --summary-csv FILE write per-run aggregate CSV (- for stdout)\n"
         "  --no-thermal       skip stack-temperature solves\n"
+        "  --exact-events     close epochs at exact boundary cycles\n"
+        "                     and fire DRAM refresh/power-down as\n"
+        "                     scheduled events (output is NOT\n"
+        "                     comparable to the pinned goldens)\n"
         "  --table3           print the Table-3 projections first\n"
         "  --quiet            suppress the aggregate table\n"
         "  --trace FILE       write simulator events as Chrome trace\n"
@@ -96,6 +100,7 @@ struct CliArgs {
     std::size_t traceCapacity = 1 << 14;
     bool profile = false;
     bool thermal = true;
+    bool exactEvents = false;
     bool table3 = false;
     bool quiet = false;
     bool version = false;
@@ -155,6 +160,8 @@ parseArgs(int argc, char **argv)
             a.version = true;
         else if (!std::strcmp(arg, "--no-thermal"))
             a.thermal = false;
+        else if (!std::strcmp(arg, "--exact-events"))
+            a.exactEvents = true;
         else if (!std::strcmp(arg, "--table3"))
             a.table3 = true;
         else if (!std::strcmp(arg, "--quiet"))
@@ -249,6 +256,7 @@ main(int argc, char **argv)
         opts.instrPerThread = args.instr;
         opts.epochCycles = args.epoch;
         opts.thermal = args.thermal;
+        opts.exactEvents = args.exactEvents;
         opts.configs = splitList(args.configs);
         opts.workloads = splitList(args.workloads);
         opts.trace = !args.tracePath.empty();
