@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.hh"
 #include "sim/cache/coherence.hh"
 #include "sim/common.hh"
+#include "sim/cpu/system.hh"
 
 namespace {
 
@@ -248,5 +250,57 @@ TEST_P(CoherencePropertySeeds, Randomized)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CoherencePropertySeeds,
                          ::testing::Range(0, 10));
+
+TEST(CoherenceStress, BarrierMultiWakeStepsCoresInAscendingIdOrder)
+{
+    // A tight barrier interval makes every release wake all cores at
+    // the same cycle; the woken cores then race their MESI upgrades
+    // on a fully shared working set.  The event-driven scheduler must
+    // pop the simultaneously woken cores in ascending id order — the
+    // order the reference loop scans them in — or the coherence
+    // traffic (and with it every counter and trace timestamp)
+    // diverges.  Comparing the full event streams pins the step order
+    // exactly.
+    HierarchyParams hp = stressSystem(true);
+    hp.nCores = 4;
+    WorkloadParams w;
+    w.name = "barriers";
+    w.memFrac = 0.3;
+    w.hotFrac = 0.2;
+    w.streamFrac = 0.0;
+    w.alpha = 1.0;
+    w.wsBytes = 1 << 20;
+    w.sharedFrac = 1.0;
+    w.barrierEvery = 40;
+    System ev(hp, w, 600, 4, 2);
+    System ref(hp, w, 600, 4, 2);
+    obs::TraceBuffer ta(1 << 16);
+    obs::TraceBuffer tb(1 << 16);
+    ev.setTrace(&ta);
+    ref.setTrace(&tb);
+    const SimStats a = ev.run();
+    const SimStats b = ref.runReference();
+    EXPECT_GT(a.fBarrier, 0.0); // barriers actually exercised
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.hier.l1Reads, b.hier.l1Reads);
+    EXPECT_EQ(a.hier.l2Misses, b.hier.l2Misses);
+    EXPECT_EQ(a.hier.c2cTransfers, b.hier.c2cTransfers);
+    EXPECT_EQ(a.llcReads, b.llcReads);
+    EXPECT_DOUBLE_EQ(a.fBarrier, b.fBarrier);
+
+    ASSERT_EQ(ta.dropped(), 0u);
+    ASSERT_EQ(tb.dropped(), 0u);
+    const auto ea = ta.events();
+    const auto eb = tb.events();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        ASSERT_STREQ(ea[i].name, eb[i].name) << "event " << i;
+        ASSERT_EQ(ea[i].ts, eb[i].ts) << "event " << i;
+        ASSERT_EQ(ea[i].dur, eb[i].dur) << "event " << i;
+        ASSERT_EQ(ea[i].tid, eb[i].tid) << "event " << i;
+        ASSERT_EQ(ea[i].argValue, eb[i].argValue) << "event " << i;
+    }
+}
 
 } // namespace

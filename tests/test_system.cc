@@ -213,4 +213,90 @@ TEST(System, ReadLatencyAtLeastL1Latency)
     EXPECT_GE(s.avgReadLatency, 2.0);
 }
 
+namespace {
+
+/** Every observable aggregate of two runs must agree exactly. */
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_DOUBLE_EQ(a.avgReadLatency, b.avgReadLatency);
+    EXPECT_DOUBLE_EQ(a.fInstruction, b.fInstruction);
+    EXPECT_DOUBLE_EQ(a.fL2, b.fL2);
+    EXPECT_DOUBLE_EQ(a.fL3, b.fL3);
+    EXPECT_DOUBLE_EQ(a.fMemory, b.fMemory);
+    EXPECT_DOUBLE_EQ(a.fBarrier, b.fBarrier);
+    EXPECT_DOUBLE_EQ(a.fLock, b.fLock);
+    EXPECT_EQ(a.hier.l1Reads, b.hier.l1Reads);
+    EXPECT_EQ(a.hier.l1Writes, b.hier.l1Writes);
+    EXPECT_EQ(a.hier.l2Reads, b.hier.l2Reads);
+    EXPECT_EQ(a.hier.l2Writes, b.hier.l2Writes);
+    EXPECT_EQ(a.hier.l2Misses, b.hier.l2Misses);
+    EXPECT_EQ(a.hier.xbarTransfers, b.hier.xbarTransfers);
+    EXPECT_EQ(a.hier.c2cTransfers, b.hier.c2cTransfers);
+    EXPECT_EQ(a.dram.activates, b.dram.activates);
+    EXPECT_EQ(a.dram.reads, b.dram.reads);
+    EXPECT_EQ(a.dram.writes, b.dram.writes);
+    EXPECT_EQ(a.dram.rowHits, b.dram.rowHits);
+    EXPECT_EQ(a.dram.busBytes, b.dram.busBytes);
+    EXPECT_EQ(a.dram.refreshes, b.dram.refreshes);
+    EXPECT_EQ(a.dram.powerDownEntries, b.dram.powerDownEntries);
+    EXPECT_EQ(a.dram.powerDownCycles, b.dram.powerDownCycles);
+    EXPECT_DOUBLE_EQ(a.memPoweredDownFraction,
+                     b.memPoweredDownFraction);
+    EXPECT_EQ(a.llcReads, b.llcReads);
+    EXPECT_EQ(a.llcWrites, b.llcWrites);
+    EXPECT_EQ(a.llcHits, b.llcHits);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+}
+
+} // namespace
+
+TEST(System, EventLoopMatchesReferenceAcrossSyncAndDramFeatures)
+{
+    // run() (ready-queue scheduler) against runReference() (the
+    // scan-every-core executable specification) over workloads that
+    // stress each wake source: lock hand-offs with critical sections,
+    // dense barriers, and DRAM stall chains with refresh + power-down
+    // timers.  Every aggregate must match exactly.
+    WorkloadParams locks = computeBound();
+    locks.name = "locks";
+    locks.memFrac = 0.1;
+    locks.lockRate = 0.02;
+    locks.criticalSection = 20;
+
+    WorkloadParams barriers = computeBound();
+    barriers.name = "barriers";
+    barriers.memFrac = 0.2;
+    barriers.hotFrac = 0.3;
+    barriers.wsBytes = 2 << 20;
+    barriers.barrierEvery = 100;
+
+    WorkloadParams dramheavy = computeBound();
+    dramheavy.name = "dramheavy";
+    dramheavy.memFrac = 0.8;
+    dramheavy.hotFrac = 0.0;
+    dramheavy.streamFrac = 0.0;
+    dramheavy.alpha = 1.0;
+    dramheavy.wsBytes = 8 << 20;
+
+    HierarchyParams hp = tinySystem();
+    hp.dram.tRefi = 200;
+    hp.dram.tRfc = 60;
+    hp.dram.powerDown = true;
+    hp.dram.powerDownAfter = 100;
+    hp.dram.tPowerDownExit = 10;
+
+    for (const WorkloadParams &w : {locks, barriers, dramheavy}) {
+        System ev(hp, w, 500, 4, 2);
+        System ref(hp, w, 500, 4, 2);
+        const SimStats a = ev.run();
+        const SimStats b = ref.runReference();
+        SCOPED_TRACE(w.name);
+        expectSameStats(a, b);
+    }
+}
+
 } // namespace
