@@ -6,14 +6,74 @@
 #include "sim/cpu/system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 
 #include "sim/metrics.hh"
+#include "sim/resilience.hh"
 
 namespace archsim {
 
 namespace {
+
+/**
+ * Per-run watchdog: trips the cycle budget and the injected fault at
+ * the first visited cycle past their thresholds (deterministic), and
+ * the wall-clock budget on a coarse iteration stride (not).
+ */
+class BudgetGuard
+{
+  public:
+    BudgetGuard(const RunLimits &lim, const std::string &workload)
+        : lim_(lim), workload_(workload),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    void
+    check(Cycle cycle)
+    {
+        if (lim_.faultCycle != 0 && cycle >= lim_.faultCycle) {
+            if (lim_.faultIsTimeout) {
+                throw SimTimeout("injected timeout (" + workload_ +
+                                     ", step site, cycle " +
+                                     std::to_string(cycle) + ")",
+                                 cycle);
+            }
+            throw InjectedFault("injected fault (" + workload_ +
+                                    ", step site, cycle " +
+                                    std::to_string(cycle) + ")",
+                                cycle);
+        }
+        if (lim_.maxCycles != 0 && cycle >= lim_.maxCycles) {
+            throw SimTimeout(
+                "cycle budget exceeded: " + workload_ + " reached " +
+                    std::to_string(cycle) + " of " +
+                    std::to_string(lim_.maxCycles) + " cycles",
+                cycle);
+        }
+        if (lim_.maxWallMs != 0 && (++tick_ & 0x7ff) == 0) {
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            if (static_cast<std::uint64_t>(elapsed) >= lim_.maxWallMs) {
+                throw SimTimeout(
+                    "wall-clock budget exceeded: " + workload_ +
+                        " ran " + std::to_string(elapsed) + " ms (" +
+                        std::to_string(lim_.maxWallMs) +
+                        " allowed) at cycle " + std::to_string(cycle),
+                    cycle);
+            }
+        }
+    }
+
+  private:
+    const RunLimits &lim_;
+    const std::string &workload_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint32_t tick_ = 0;
+};
 
 /** Wire threads into cores and the shared synchronization state. */
 void
@@ -73,12 +133,14 @@ System::System(const HierarchyParams &hp, const TraceFile &trace,
 }
 
 SimStats
-System::run(EpochRecorder *rec, SimMode mode)
+System::run(EpochRecorder *rec, SimMode mode, const RunLimits &limits)
 {
     OBS_PROFILE_SCOPE("sim.run");
     if (rec)
         rec->start(hier_.params());
     const bool exact = mode == SimMode::Exact;
+    const bool guarded = limits.any();
+    BudgetGuard guard(limits, workloadName_);
     if (exact)
         hier_.memory().setEventDriven(true);
 
@@ -108,6 +170,10 @@ System::run(EpochRecorder *rec, SimMode mode)
     std::vector<int> eligible;
     eligible.reserve(cores_.size());
     while (cores_left > 0) {
+        // One predictable branch per visited cycle; with default
+        // limits the loop body is unchanged.
+        if (guarded)
+            guard.check(cycle);
         rq.collect(cycle, fresh, eligible);
         if (!eligible.empty()) {
             for (const int id : eligible) {
@@ -125,12 +191,8 @@ System::run(EpochRecorder *rec, SimMode mode)
             // unconditionally; collect() at that cycle is an O(1)
             // empty pop, matching its cheap no-issue pass.
             const Cycle next = rq.nextTime(fresh);
-            if (next == std::numeric_limits<Cycle>::max()) {
-                throw std::runtime_error(
-                    "simulation deadlock: all remaining threads are "
-                    "blocked on synchronization at cycle " +
-                    std::to_string(cycle));
-            }
+            if (next == std::numeric_limits<Cycle>::max())
+                throwDeadlock(cycle);
             cycle = next;
         }
 
@@ -207,12 +269,8 @@ System::runReference(EpochRecorder *rec)
             // No wake can ever arrive when nothing issued and no
             // thread has a finite ready cycle (wakes only happen at
             // issue time), so that state is a genuine deadlock.
-            if (next == std::numeric_limits<Cycle>::max()) {
-                throw std::runtime_error(
-                    "simulation deadlock: all remaining threads are "
-                    "blocked on synchronization at cycle " +
-                    std::to_string(cycle));
-            }
+            if (next == std::numeric_limits<Cycle>::max())
+                throwDeadlock(cycle);
             cycle = std::max(next, cycle + 1);
         }
 
@@ -225,6 +283,61 @@ System::runReference(EpochRecorder *rec)
         }
     }
     return finalize(cycle, rec);
+}
+
+void
+System::throwDeadlock(Cycle cycle) const
+{
+    // Per-core wait-state census so a Failed sweep result points at
+    // the synchronization structure that wedged, not just a cycle.
+    struct Waits {
+        int barrier = 0, lock = 0, retired = 0, other = 0;
+    };
+    const std::size_t per_core = threads_.size() / cores_.size();
+    std::vector<Waits> cores(cores_.size());
+    Waits total;
+    for (const auto &t : threads_) {
+        Waits &w = cores[std::size_t(t->id) / per_core];
+        if (t->done()) {
+            ++w.retired;
+            ++total.retired;
+        } else if (t->waitingBarrier) {
+            ++w.barrier;
+            ++total.barrier;
+        } else if (t->waitingLock) {
+            ++w.lock;
+            ++total.lock;
+        } else {
+            ++w.other;
+            ++total.other;
+        }
+    }
+    std::string msg =
+        "simulation deadlock: all remaining threads are blocked on "
+        "synchronization at cycle " +
+        std::to_string(cycle) + " (workload " + workloadName_ +
+        "; waiting: " + std::to_string(total.barrier) + " barrier, " +
+        std::to_string(total.lock) + " lock, " +
+        std::to_string(total.other) + " other; " +
+        std::to_string(total.retired) + " retired; per core [";
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        const Waits &w = cores[c];
+        if (c)
+            msg += ' ';
+        msg += 'c';
+        msg += std::to_string(c);
+        msg += ':';
+        msg += std::to_string(w.barrier);
+        msg += "b/";
+        msg += std::to_string(w.lock);
+        msg += "l/";
+        msg += std::to_string(w.retired);
+        msg += "r/";
+        msg += std::to_string(w.other);
+        msg += 'o';
+    }
+    msg += "])";
+    throw SimDeadlock(msg, cycle);
 }
 
 std::uint64_t

@@ -39,6 +39,39 @@ class EpochRecorder;
  */
 enum class SimMode : std::uint8_t { Golden, Exact };
 
+/**
+ * Watchdog budgets (and the fault-injection hook) of one run.  All
+ * limits default to "unlimited"; a System with default limits runs
+ * byte-identically to one without the parameter.
+ *
+ * The cycle budget trips at the first *visited* simulated cycle at or
+ * past maxCycles — a pure function of the deterministic simulation,
+ * so a sweep converts runaway runs into TimedOut results at the same
+ * cycle for any worker count.  The wall-clock budget is checked
+ * coarsely (every few thousand scheduler iterations) and is
+ * inherently machine-dependent; it exists to bound damage, not to be
+ * reproducible.
+ */
+struct RunLimits {
+    Cycle maxCycles = 0;         ///< 0 = unlimited; trips SimTimeout
+    std::uint64_t maxWallMs = 0; ///< 0 = unlimited; trips SimTimeout
+
+    /**
+     * Deterministic fault injection (sim/resilience.hh): at the first
+     * visited cycle >= faultCycle the run raises InjectedFault (or
+     * SimTimeout when faultIsTimeout), exactly like a model bug or a
+     * hung run would at that point.  0 disables.
+     */
+    Cycle faultCycle = 0;
+    bool faultIsTimeout = false;
+
+    bool
+    any() const
+    {
+        return maxCycles != 0 || maxWallMs != 0 || faultCycle != 0;
+    }
+};
+
 /** Aggregated results of one simulation run. */
 struct SimStats {
     std::string workload;
@@ -105,9 +138,16 @@ class System
      * events); SimMode::Exact additionally fires epoch-boundary and
      * DRAM events at their exact cycles during time jumps.  A System
      * can be run once; call either run() or runReference(), not both.
+     *
+     * @p limits arms the watchdogs: the run raises SimTimeout when a
+     * budget expires and InjectedFault at a fault-injection site (see
+     * RunLimits); a deadlock raises SimDeadlock with the workload,
+     * cycle and per-core wait states.  All three derive from
+     * std::runtime_error.
      */
     SimStats run(EpochRecorder *rec = nullptr,
-                 SimMode mode = SimMode::Golden);
+                 SimMode mode = SimMode::Golden,
+                 const RunLimits &limits = {});
 
     /**
      * Reference implementation: the original scan-every-core cycle
@@ -135,6 +175,13 @@ class System
   private:
     /** Sum of retired instructions over all threads. */
     std::uint64_t totalInstructions() const;
+
+    /**
+     * Raise SimDeadlock at @p cycle with actionable context: the
+     * workload name and how many threads of each core are waiting at
+     * the barrier, queued on the lock, retired, or otherwise blocked.
+     */
+    [[noreturn]] void throwDeadlock(Cycle cycle) const;
 
     /**
      * SimMode::Exact: fire DRAM events and close epoch boundaries at

@@ -80,4 +80,14 @@ registerPowerBreakdown(cactid::obs::Registry &r, const PowerBreakdown &b)
     r.gauge("power.edp_js") = b.edp();
 }
 
+void
+registerRunStatus(cactid::obs::Registry &r, RunStatus status,
+                  int attempts)
+{
+    r.counter("run.status_code") =
+        static_cast<std::uint64_t>(status);
+    r.counter("run.attempts") = static_cast<std::uint64_t>(attempts);
+    r.counter("run.failed") = status == RunStatus::Ok ? 0 : 1;
+}
+
 } // namespace archsim

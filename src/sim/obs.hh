@@ -13,6 +13,7 @@
 #include "obs/registry.hh"
 #include "sim/cpu/system.hh"
 #include "sim/power/power.hh"
+#include "sim/resilience.hh"
 
 namespace archsim {
 
@@ -26,6 +27,13 @@ void registerActivityCounts(cactid::obs::Registry &r,
 /** power.* gauges (W) from a computed power breakdown. */
 void registerPowerBreakdown(cactid::obs::Registry &r,
                             const PowerBreakdown &b);
+
+/**
+ * run.* status counters of one sweep slot (emitted only for v2
+ * sweeps, so v1 registry dumps keep their exact key set).
+ */
+void registerRunStatus(cactid::obs::Registry &r, RunStatus status,
+                       int attempts);
 
 } // namespace archsim
 

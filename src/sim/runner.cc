@@ -80,9 +80,18 @@ StudyRunner::resolveJobs(int jobs)
 
 RunResult
 StudyRunner::execute(const std::string &config,
-                     const WorkloadParams &w) const
+                     const WorkloadParams &w, std::size_t index,
+                     int attempt, const char **phase) const
 {
     OBS_PROFILE_SCOPE("runner.execute");
+    const char *local_phase = "setup";
+    const char **ph = phase ? phase : &local_phase;
+
+    *ph = "solve";
+    if (opts_.faultPlan.fires(index, FaultSite::Solve, attempt)) {
+        throw InjectedFault("injected fault (" + w.name + "/" +
+                            config + ", solve site)");
+    }
     HierarchyParams hp = study_->hierarchyFor(config);
     if (opts_.tweakHierarchy)
         opts_.tweakHierarchy(config, hp);
@@ -99,12 +108,24 @@ StudyRunner::execute(const std::string &config,
         sys.setTrace(&trace);
     const SimMode mode =
         opts_.exactEvents ? SimMode::Exact : SimMode::Golden;
+
+    *ph = "sim";
+    RunLimits limits;
+    limits.maxCycles = opts_.maxCycles;
+    limits.maxWallMs = opts_.maxWallMs;
+    if (const FaultSpec *f =
+            opts_.faultPlan.find(index, FaultSite::Step)) {
+        if (attempt <= f->failAttempts) {
+            limits.faultCycle = f->cycle ? f->cycle : 1;
+            limits.faultIsTimeout = f->action == FaultAction::Timeout;
+        }
+    }
     if (opts_.epochCycles > 0) {
         EpochRecorder rec(opts_.epochCycles);
-        r.stats = sys.run(&rec, mode);
+        r.stats = sys.run(&rec, mode, limits);
         r.epochs = rec.take();
     } else {
-        r.stats = sys.run(nullptr, mode);
+        r.stats = sys.run(nullptr, mode, limits);
     }
     if (opts_.trace) {
         r.traceDropped = trace.dropped(); // take() resets the count
@@ -112,6 +133,7 @@ StudyRunner::execute(const std::string &config,
     }
     r.stats.config = config;
 
+    *ph = "power";
     PowerParams pp = study_->powerFor(config);
     if (opts_.tweakPower)
         opts_.tweakPower(config, pp);
@@ -119,6 +141,7 @@ StudyRunner::execute(const std::string &config,
 
     const double bank_standby = study_->l3BankStandbyPower(config);
     if (!r.epochs.empty()) {
+        *ph = "derive";
         EpochDeriveParams dp;
         dp.l3BankStandbyPowerW = bank_standby;
         dp.computeThermal = opts_.thermal;
@@ -126,10 +149,74 @@ StudyRunner::execute(const std::string &config,
         deriveEpochMetrics(r.epochs, pp, dp);
     }
     if (opts_.thermal) {
+        *ph = "thermal";
         r.thermal = solveStudyStack(opts_.thermalParams, pp.corePowerW,
                                     bank_standby + r.power.l3Dyn / 8.0);
     }
     return r;
+}
+
+RunResult
+StudyRunner::executeGuarded(std::size_t index,
+                            const std::string &config,
+                            const WorkloadParams &w) const
+{
+    const int max_attempts = std::max(1, opts_.retry.maxAttempts);
+    for (int attempt = 1;; ++attempt) {
+        RunResult r;
+        const char *phase = "setup";
+        try {
+            r = execute(config, w, index, attempt, &phase);
+        } catch (const SimTimeout &e) {
+            r = RunResult{};
+            r.status = RunStatus::TimedOut;
+            r.error = {e.what(), phase, e.atCycle};
+        } catch (const SimDeadlock &e) {
+            r = RunResult{};
+            r.status = RunStatus::Failed;
+            r.error = {e.what(), phase, e.atCycle};
+        } catch (const InjectedFault &e) {
+            r = RunResult{};
+            r.status = RunStatus::Failed;
+            r.error = {e.what(), phase, e.atCycle};
+        } catch (const std::exception &e) {
+            r = RunResult{};
+            r.status = RunStatus::Failed;
+            r.error = {e.what(), phase, 0};
+        } catch (...) {
+            r = RunResult{};
+            r.status = RunStatus::Failed;
+            r.error = {"unknown exception", phase, 0};
+        }
+        r.config = config;
+        r.workload = w.name;
+        r.attempts = attempt;
+        if (!r.ok()) {
+            // Identity fields so exports and tables stay labeled.
+            r.stats.config = config;
+            r.stats.workload = w.name;
+            if (opts_.trace) {
+                // A minimal stream so --trace shows *that* and where
+                // the run died even though its ring never survived.
+                obs::TraceEvent e;
+                e.name = "run_status";
+                e.cat = "runner";
+                e.ph = 'i';
+                e.ts = r.error.cycle;
+                e.argName = "status";
+                e.argValue =
+                    static_cast<std::uint64_t>(r.status);
+                r.trace.push_back(e);
+            }
+        }
+
+        const bool retryable =
+            r.status == RunStatus::Failed ||
+            (r.status == RunStatus::TimedOut &&
+             opts_.retry.retryTimeouts);
+        if (r.ok() || !retryable || attempt >= max_attempts)
+            return r;
+    }
 }
 
 RunResult
@@ -145,6 +232,26 @@ StudyRunner::runOne(const std::string &config,
     }
     // Fall back to the full suite (the runner may cover a subset).
     return execute(config, npbWorkload(workload));
+}
+
+std::vector<std::pair<std::string, std::string>>
+StudyRunner::tasks() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(configs_.size() * workloads_.size());
+    for (const WorkloadParams &w : workloads_) {
+        for (const std::string &c : configs_)
+            out.emplace_back(c, w.name);
+    }
+    return out;
+}
+
+std::string
+StudyRunner::fingerprint() const
+{
+    return sweepFingerprint(instr_, opts_.epochCycles,
+                            opts_.exactEvents, opts_.thermal,
+                            opts_.maxCycles);
 }
 
 std::vector<RunResult>
@@ -166,9 +273,26 @@ StudyRunner::runAll() const
         std::min<std::size_t>(resolveJobs(opts_.jobs),
                               std::max<std::size_t>(tasks.size(), 1)));
 
+    // Per-run failures never leave this lambda: executeGuarded folds
+    // them into the slot, so a bad point costs one slot, not the
+    // sweep.  Only the caller-supplied hooks can still throw; those
+    // are infrastructure errors and abort after the pool drains.
+    auto runTask = [&](std::size_t i) {
+        const std::string &c = *tasks[i].config;
+        const WorkloadParams &w = *tasks[i].workload;
+        RunResult reused;
+        if (opts_.reuseRun && opts_.reuseRun(i, c, w.name, reused)) {
+            results[i] = std::move(reused);
+            return;
+        }
+        results[i] = executeGuarded(i, c, w);
+        if (opts_.onRunComplete)
+            opts_.onRunComplete(i, results[i]);
+    };
+
     if (jobs <= 1) {
         for (std::size_t i = 0; i < tasks.size(); ++i)
-            results[i] = execute(*tasks[i].config, *tasks[i].workload);
+            runTask(i);
         return results;
     }
 
@@ -182,8 +306,7 @@ StudyRunner::runAll() const
         for (std::size_t i = next.fetch_add(1); i < tasks.size();
              i = next.fetch_add(1)) {
             try {
-                results[i] =
-                    execute(*tasks[i].config, *tasks[i].workload);
+                runTask(i);
             } catch (...) {
                 const std::lock_guard<std::mutex> lock(err_mtx);
                 if (!first_error)
@@ -202,12 +325,27 @@ StudyRunner::runAll() const
     return results;
 }
 
+bool
+sweepNeedsV2(const std::vector<RunResult> &runs)
+{
+    for (const RunResult &r : runs) {
+        if (r.status != RunStatus::Ok || r.attempts != 1)
+            return true;
+    }
+    return false;
+}
+
 void
 exportJson(std::ostream &os, const std::vector<RunResult> &runs,
            const StudyRunner &runner)
 {
+    // The v1 byte stream is pinned by the golden gate; status fields
+    // appear only when there is a status to report (sweepNeedsV2), so
+    // a clean sweep — including a resumed one — reproduces v1 exactly.
+    const bool v2 = sweepNeedsV2(runs);
     os << "{\n";
-    os << "  \"schema\": \"cactid-study-v1\",\n";
+    os << "  \"schema\": \""
+       << (v2 ? "cactid-study-v2" : "cactid-study-v1") << "\",\n";
     os << "  \"build\": ";
     cactid::obs::writeBuildInfoJson(os);
     os << ",\n";
@@ -223,6 +361,18 @@ exportJson(std::ostream &os, const std::vector<RunResult> &runs,
         os << (i ? ",\n    {" : "\n    {");
         os << "\"config\": " << jstr(r.config)
            << ", \"workload\": " << jstr(r.workload);
+        if (v2) {
+            os << ", \"status\": " << jstr(runStatusName(r.status))
+               << ", \"attempts\": " << r.attempts;
+            if (r.status != RunStatus::Ok) {
+                os << ",\n     \"error\": {\"message\": \""
+                   << cactid::obs::jsonEscape(r.error.message)
+                   << "\", \"phase\": \""
+                   << cactid::obs::jsonEscape(r.error.phase)
+                   << "\", \"cycle\": " << r.error.cycle << "}}";
+                continue;
+            }
+        }
         os << ", \"cycles\": " << s.cycles;
         os << ", \"instructions\": " << s.instructions;
         os << ", \"ipc\": " << num(s.ipc);
@@ -328,14 +478,47 @@ exportRegistry(std::ostream &os, const std::vector<RunResult> &runs,
                const StudyRunner &runner)
 {
     (void)runner;
-    std::vector<cactid::obs::Registry> regs(runs.size());
+    const bool v2 = sweepNeedsV2(runs);
+    std::vector<cactid::obs::Registry> regs(runs.size() + 1);
     std::vector<std::pair<std::string, const cactid::obs::Registry *>>
         items;
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const RunResult &r = runs[i];
         registerSimStats(regs[i], r.stats);
         registerPowerBreakdown(regs[i], r.power);
+        if (v2)
+            registerRunStatus(regs[i], r.status, r.attempts);
         items.emplace_back(r.workload + "/" + r.config, &regs[i]);
+    }
+    if (v2) {
+        // Sweep-level failure counters, one registry at the end.
+        cactid::obs::Registry &sweep = regs[runs.size()];
+        std::uint64_t ok = 0, failed = 0, timed_out = 0, skipped = 0,
+                      retries = 0;
+        for (const RunResult &r : runs) {
+            switch (r.status) {
+            case RunStatus::Ok:
+                ++ok;
+                break;
+            case RunStatus::Failed:
+                ++failed;
+                break;
+            case RunStatus::TimedOut:
+                ++timed_out;
+                break;
+            case RunStatus::Skipped:
+                ++skipped;
+                break;
+            }
+            retries += static_cast<std::uint64_t>(r.attempts - 1);
+        }
+        sweep.counter("runner.runs") = runs.size();
+        sweep.counter("runner.ok") = ok;
+        sweep.counter("runner.failed") = failed;
+        sweep.counter("runner.timed_out") = timed_out;
+        sweep.counter("runner.skipped") = skipped;
+        sweep.counter("runner.retries") = retries;
+        items.emplace_back("sweep", &sweep);
     }
     cactid::obs::writeRegistryDump(os, items);
 }
@@ -343,15 +526,23 @@ exportRegistry(std::ostream &os, const std::vector<RunResult> &runs,
 void
 exportSummaryCsv(std::ostream &os, const std::vector<RunResult> &runs)
 {
+    const bool v2 = sweepNeedsV2(runs);
     os << "config,workload,cycles,instructions,ipc,avg_read_latency,"
-          "mem_power_w,system_power_w,edp_js,max_temp_k\n";
+          "mem_power_w,system_power_w,edp_js,max_temp_k";
+    if (v2)
+        os << ",status,attempts";
+    os << '\n';
     for (const RunResult &r : runs) {
         os << r.config << ',' << r.workload << ',' << r.stats.cycles
            << ',' << r.stats.instructions << ',' << num(r.stats.ipc)
            << ',' << num(r.stats.avgReadLatency) << ','
            << num(r.power.memoryHierarchy()) << ','
            << num(r.power.system()) << ',' << num(r.power.edp()) << ','
-           << num(r.thermal.maxTemp) << '\n';
+           << num(r.thermal.maxTemp);
+        if (v2)
+            os << ',' << runStatusName(r.status) << ','
+               << r.attempts;
+        os << '\n';
     }
 }
 

@@ -29,6 +29,7 @@
 
 #include "sim/metrics.hh"
 #include "sim/power/power.hh"
+#include "sim/resilience.hh"
 #include "sim/study.hh"
 #include "sim/thermal/thermal.hh"
 
@@ -77,6 +78,44 @@ struct RunnerOptions {
     /** Subset of workloads (by name); empty = all eight. */
     std::vector<std::string> workloads;
 
+    /**
+     * Per-run simulated-cycle budget; 0 = unlimited.  A run past the
+     * budget lands in its slot as RunStatus::TimedOut at a
+     * deterministic cycle (the same for any `jobs`), and the sweep
+     * continues.
+     */
+    Cycle maxCycles = 0;
+
+    /**
+     * Per-run wall-clock budget in milliseconds; 0 = unlimited.
+     * Machine-dependent by nature — a damage bound for wedged runs,
+     * not a reproducible observable.
+     */
+    std::uint64_t maxWallMs = 0;
+
+    /** Opt-in bounded retry of failed runs (attempts are recorded). */
+    RetryPolicy retry;
+
+    /** Deterministic fault injection (tests and resilience benches). */
+    FaultPlan faultPlan;
+
+    /**
+     * Called after each run completes (reused runs excluded), from
+     * the worker that ran it — the callback must be thread-safe when
+     * jobs > 1.  The sweep's checkpoint writer hangs off this hook.
+     */
+    std::function<void(std::size_t index, const RunResult &)>
+        onRunComplete;
+
+    /**
+     * Resume hook: return true to place a previously persisted result
+     * into slot @p index instead of executing it (--resume).  Called
+     * before each run, from the worker thread.
+     */
+    std::function<bool(std::size_t index, const std::string &config,
+                       const std::string &workload, RunResult &out)>
+        reuseRun;
+
     /** Ablation hook: adjust the hierarchy of a configuration. */
     std::function<void(const std::string &config, HierarchyParams &)>
         tweakHierarchy;
@@ -90,6 +129,15 @@ struct RunnerOptions {
 struct RunResult {
     std::string config;
     std::string workload;
+
+    /**
+     * How the run ended.  Non-Ok runs carry `error` and zeroed
+     * stats/power/thermal; the sweep around them is unaffected.
+     */
+    RunStatus status = RunStatus::Ok;
+    RunError error;
+    int attempts = 1; ///< executions including retries
+
     SimStats stats;
     PowerBreakdown power;
     ThermalResult thermal;
@@ -98,6 +146,8 @@ struct RunResult {
     /** Event stream (simulated-cycle clock) when tracing was on. */
     std::vector<obs::TraceEvent> trace;
     std::size_t traceDropped = 0; ///< events lost to the ring bound
+
+    bool ok() const { return status == RunStatus::Ok; }
 };
 
 /** The parallel study sweep driver. */
@@ -111,8 +161,29 @@ class StudyRunner
      * Run the whole sweep: workload-major order (all configurations
      * of the first workload, then the next workload), matching the
      * figure benches' iteration order.
+     *
+     * Fault-isolated: a run that throws (model error, deadlock,
+     * watchdog, injected fault) lands in its enumeration slot as a
+     * non-Ok RunResult with structured error context, and every
+     * other run still executes — the sweep result is deterministic
+     * for any `jobs`.  Only infrastructure failures (an exception
+     * escaping the onRunComplete/reuseRun hooks) abort the sweep,
+     * after the pool drains.
      */
     std::vector<RunResult> runAll() const;
+
+    /**
+     * The (config, workload-name) pairs of the sweep in enumeration
+     * order — the index space FaultPlan and checkpoint keys use.
+     */
+    std::vector<std::pair<std::string, std::string>> tasks() const;
+
+    /**
+     * Canonical fingerprint of everything that determines a run's
+     * bytes (study options, budgets); checkpoint records are keyed
+     * under it (see sim/resilience.hh).
+     */
+    std::string fingerprint() const;
 
     /** Run a single (config, workload) pair. */
     RunResult runOne(const std::string &config,
@@ -136,8 +207,21 @@ class StudyRunner
     static int resolveJobs(int jobs);
 
   private:
+    /**
+     * The raw (throwing) run path.  @p index keys fault injection
+     * (npos = none); @p phase, when given, tracks the phase the run
+     * is in so a catch site can attribute the failure.
+     */
     RunResult execute(const std::string &config,
-                      const WorkloadParams &w) const;
+                      const WorkloadParams &w,
+                      std::size_t index = std::size_t(-1),
+                      int attempt = 1,
+                      const char **phase = nullptr) const;
+
+    /** execute() with isolation + bounded retry folded into a slot. */
+    RunResult executeGuarded(std::size_t index,
+                             const std::string &config,
+                             const WorkloadParams &w) const;
 
     const Study *study_;
     RunnerOptions opts_;
@@ -147,9 +231,22 @@ class StudyRunner
 };
 
 /**
+ * True when serializing @p runs needs the v2 schema: some run is
+ * non-Ok or took more than one attempt.  An all-Ok single-attempt
+ * sweep always exports the v1 bytes, whatever options produced it —
+ * that keeps the pinned goldens valid and makes a resumed sweep
+ * byte-identical to an uninterrupted one.
+ */
+bool sweepNeedsV2(const std::vector<RunResult> &runs);
+
+/**
  * Serialize a sweep as JSON (schema "cactid-study-v1", documented in
  * the README).  Doubles print with round-trip precision: equal
  * results produce byte-identical output.
+ *
+ * When sweepNeedsV2() the schema is "cactid-study-v2": every run
+ * gains "status" and "attempts", and non-Ok runs carry an "error"
+ * object (message, phase, simulated cycle) instead of result fields.
  */
 void exportJson(std::ostream &os, const std::vector<RunResult> &runs,
                 const StudyRunner &runner);
@@ -158,7 +255,11 @@ void exportJson(std::ostream &os, const std::vector<RunResult> &runs,
 void exportEpochsCsv(std::ostream &os,
                      const std::vector<RunResult> &runs);
 
-/** One CSV row per (config, workload) with the final aggregates. */
+/**
+ * One CSV row per (config, workload) with the final aggregates.
+ * Under sweepNeedsV2() the header and rows gain status,attempts
+ * columns (non-Ok rows serialize zeroed aggregates).
+ */
 void exportSummaryCsv(std::ostream &os,
                       const std::vector<RunResult> &runs);
 

@@ -16,6 +16,9 @@
  *   cactid <config-file> --registry FILE  solver counters (obs-v1)
  *   cactid --version
  *   cactid --help
+ *
+ * Exit codes: 0 success; 2 usage or configuration error; 3 internal
+ * error (unexpected exception, failed output write).
  */
 
 #include <cstdio>
@@ -34,6 +37,7 @@
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "tools/config_parser.hh"
+#include "util/atomic_file.hh"
 
 namespace {
 
@@ -191,22 +195,29 @@ parseArgs(int argc, char **argv)
     return a;
 }
 
-/** Write to FILE, or to stdout when the path is "-". */
+/**
+ * Write to FILE (atomically, via the shared tmp + fsync + rename
+ * helper), or to stdout when the path is "-".  Stream failures are
+ * reported, not swallowed.
+ */
 bool
 withStream(const std::string &path,
            const std::function<void(std::ostream &)> &fn)
 {
     if (path == "-") {
         fn(std::cout);
+        std::cout.flush();
+        if (!std::cout) {
+            std::fprintf(stderr, "cactid: write to stdout failed\n");
+            return false;
+        }
         return true;
     }
-    std::ofstream f(path);
-    if (!f) {
-        std::fprintf(stderr, "cactid: cannot write %s\n",
-                     path.c_str());
+    std::string err;
+    if (!cactid::util::writeFileAtomic(path, fn, &err)) {
+        std::fprintf(stderr, "cactid: %s\n", err.c_str());
         return false;
     }
-    fn(f);
     return true;
 }
 
@@ -246,7 +257,7 @@ main(int argc, char **argv)
 {
     const CliArgs args = parseArgs(argc, argv);
     if (!args.ok)
-        return 1;
+        return 2;
     if (args.version) {
         std::printf("%s\n",
                     cactid::obs::versionLine("cactid").c_str());
@@ -254,7 +265,7 @@ main(int argc, char **argv)
     }
     if (args.help || args.configPath.empty()) {
         printHelp();
-        return args.help ? 0 : 1;
+        return args.help ? 0 : 2;
     }
     if (!args.tracePath.empty() || args.profile)
         cactid::obs::Tracer::instance().enable(true);
@@ -269,7 +280,7 @@ main(int argc, char **argv)
             if (!f) {
                 std::fprintf(stderr, "cactid: cannot open %s\n",
                              args.configPath.c_str());
-                return 1;
+                return 2;
             }
             cfg = cactid::tools::parseConfig(f, &opts);
         }
@@ -278,7 +289,7 @@ main(int argc, char **argv)
 
         if (!args.sweep.empty()) {
             printSweep(cfg, args.sweep, opts, args.stats);
-            return emitSpans(args) ? 0 : 1;
+            return emitSpans(args) ? 0 : 3;
         }
 
         const cactid::SolveResult res = cactid::solve(cfg, opts);
@@ -298,7 +309,7 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "%s",
                              res.stats.report().c_str());
             io_ok &= emitSpans(args);
-            return io_ok ? 0 : 1;
+            return io_ok ? 0 : 3;
         }
 
         std::printf("=== %s ===\n", cfg.summary().c_str());
@@ -311,9 +322,16 @@ main(int argc, char **argv)
         if (args.stats)
             std::printf("%s", res.stats.report().c_str());
         io_ok &= emitSpans(args);
-        return io_ok ? 0 : 1;
-    } catch (const std::exception &e) {
+        return io_ok ? 0 : 3;
+    } catch (const std::invalid_argument &e) {
         std::fprintf(stderr, "cactid: %s\n", e.what());
-        return 1;
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cactid: internal error: %s\n", e.what());
+        return 3;
+    } catch (...) {
+        std::fprintf(stderr,
+                     "cactid: internal error: unknown exception\n");
+        return 3;
     }
 }

@@ -22,13 +22,26 @@
  *                                        trace JSON (deterministic)
  *   cactid-study --registry FILE         per-run counter registries
  *   cactid-study --profile               wall-clock span summary
+ *   cactid-study --checkpoint DIR        persist each completed run
+ *   cactid-study --checkpoint DIR --resume
+ *                                        reuse valid records, re-run
+ *                                        the missing and failed ones
+ *   cactid-study --max-cycles N          per-run simulated-cycle budget
+ *   cactid-study --max-wall-ms N         per-run wall-clock budget
+ *   cactid-study --retry N               attempts per failed run
  *   cactid-study --version               build stamp
+ *
+ * Exit codes: 0 every run Ok; 1 the sweep completed but some run is
+ * non-Ok (failed / timed out); 2 usage or configuration error; 3
+ * internal error (unexpected exception, failed output write).
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,7 +49,9 @@
 #include "obs/build_info.hh"
 #include "obs/export.hh"
 #include "obs/trace.hh"
+#include "sim/resilience.hh"
 #include "sim/runner.hh"
+#include "util/atomic_file.hh"
 
 namespace {
 
@@ -74,7 +89,26 @@ printHelp()
         "  --trace-capacity N per-run event ring size (default 16384)\n"
         "  --registry FILE    write per-run counters as cactid-obs-v1\n"
         "  --profile          wall-clock span summary on stderr\n"
-        "  --version          print the build stamp\n");
+        "  --checkpoint DIR   persist each completed run atomically\n"
+        "                     under DIR (incompatible with --trace)\n"
+        "  --resume           with --checkpoint: reuse valid records,\n"
+        "                     re-run missing/failed; merged output is\n"
+        "                     byte-identical to an uninterrupted sweep\n"
+        "  --max-cycles N     per-run simulated-cycle budget; a run\n"
+        "                     over budget lands as timed_out at a\n"
+        "                     deterministic cycle (0 = unlimited)\n"
+        "  --max-wall-ms N    per-run wall-clock budget in ms\n"
+        "                     (machine-dependent; 0 = unlimited)\n"
+        "  --retry N          total attempts per failed run\n"
+        "                     (default 1 = no retry)\n"
+        "  --retry-timeouts   also retry timed-out runs\n"
+        "  --fault-plan SPEC  inject deterministic faults (testing);\n"
+        "                     SPEC = INDEX@SITE[:CYCLE][xN],... with\n"
+        "                     SITE one of solve step timeout export\n"
+        "  --version          print the build stamp\n"
+        "\n"
+        "exit codes: 0 all runs ok; 1 sweep completed with non-ok\n"
+        "runs; 2 usage/configuration error; 3 internal error\n");
 }
 
 std::vector<std::string>
@@ -97,7 +131,13 @@ struct CliArgs {
     std::string configs, workloads;
     std::string jsonPath, csvPath, summaryPath;
     std::string tracePath, registryPath;
+    std::string checkpointDir, faultPlanSpec;
     std::size_t traceCapacity = 1 << 14;
+    archsim::Cycle maxCycles = 0;
+    std::uint64_t maxWallMs = 0;
+    int retry = 1;
+    bool retryTimeouts = false;
+    bool resume = false;
     bool profile = false;
     bool thermal = true;
     bool exactEvents = false;
@@ -154,6 +194,24 @@ parseArgs(int argc, char **argv)
                                   : 0;
         else if (!std::strcmp(arg, "--registry"))
             a.registryPath = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--checkpoint"))
+            a.checkpointDir = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--resume"))
+            a.resume = true;
+        else if (!std::strcmp(arg, "--max-cycles"))
+            a.maxCycles = (v = value(i, arg))
+                              ? std::strtoull(v, nullptr, 10)
+                              : 0;
+        else if (!std::strcmp(arg, "--max-wall-ms"))
+            a.maxWallMs = (v = value(i, arg))
+                              ? std::strtoull(v, nullptr, 10)
+                              : 0;
+        else if (!std::strcmp(arg, "--retry"))
+            a.retry = (v = value(i, arg)) ? std::atoi(v) : 0;
+        else if (!std::strcmp(arg, "--retry-timeouts"))
+            a.retryTimeouts = true;
+        else if (!std::strcmp(arg, "--fault-plan"))
+            a.faultPlanSpec = (v = value(i, arg)) ? v : "";
         else if (!std::strcmp(arg, "--profile"))
             a.profile = true;
         else if (!std::strcmp(arg, "--version"))
@@ -172,25 +230,50 @@ parseArgs(int argc, char **argv)
             a.ok = false;
         }
     }
+    if (a.ok && a.resume && a.checkpointDir.empty()) {
+        std::fprintf(stderr,
+                     "cactid-study: --resume requires --checkpoint\n");
+        a.ok = false;
+    }
+    if (a.ok && !a.checkpointDir.empty() && !a.tracePath.empty()) {
+        std::fprintf(stderr,
+                     "cactid-study: --checkpoint cannot be combined "
+                     "with --trace (event streams are not "
+                     "checkpointed)\n");
+        a.ok = false;
+    }
+    if (a.ok && a.retry < 1) {
+        std::fprintf(stderr,
+                     "cactid-study: --retry needs a value >= 1\n");
+        a.ok = false;
+    }
     return a;
 }
 
-/** Write to FILE, or to stdout when the path is "-". */
+/**
+ * Write to FILE (atomically: tmp + fsync + rename, so a crash or a
+ * full disk never leaves a torn export), or to stdout when the path
+ * is "-".  Stream failures are reported, not swallowed.
+ */
 bool
 withStream(const std::string &path,
            const std::function<void(std::ostream &)> &fn)
 {
     if (path == "-") {
         fn(std::cout);
+        std::cout.flush();
+        if (!std::cout) {
+            std::fprintf(stderr,
+                         "cactid-study: write to stdout failed\n");
+            return false;
+        }
         return true;
     }
-    std::ofstream f(path);
-    if (!f) {
-        std::fprintf(stderr, "cactid-study: cannot write %s\n",
-                     path.c_str());
+    std::string err;
+    if (!cactid::util::writeFileAtomic(path, fn, &err)) {
+        std::fprintf(stderr, "cactid-study: %s\n", err.c_str());
         return false;
     }
-    fn(f);
     return true;
 }
 
@@ -211,6 +294,16 @@ printAggregates(const std::vector<RunResult> &runs, bool thermal)
         if (r.workload != last_workload)
             edp_base = 0.0;
         last_workload = r.workload;
+        if (!r.ok()) {
+            std::printf("%-6s %-11s %s (phase %s, cycle %llu): %s\n",
+                        r.workload.c_str(), r.config.c_str(),
+                        runStatusName(r.status),
+                        r.error.phase.empty() ? "?"
+                                              : r.error.phase.c_str(),
+                        static_cast<unsigned long long>(r.error.cycle),
+                        r.error.message.c_str());
+            continue;
+        }
         if (r.config == "nol3")
             edp_base = r.power.edp();
         std::printf("%-6s %-11s %8llu %6.2f %12.1f %9.2f %9.3f",
@@ -232,7 +325,7 @@ main(int argc, char **argv)
 {
     const CliArgs args = parseArgs(argc, argv);
     if (!args.ok)
-        return 1;
+        return 2;
     if (args.version) {
         std::printf(
             "%s\n",
@@ -261,6 +354,67 @@ main(int argc, char **argv)
         opts.workloads = splitList(args.workloads);
         opts.trace = !args.tracePath.empty();
         opts.traceCapacity = args.traceCapacity;
+        opts.maxCycles = args.maxCycles;
+        opts.maxWallMs = args.maxWallMs;
+        opts.retry.maxAttempts = args.retry;
+        opts.retry.retryTimeouts = args.retryTimeouts;
+        if (!args.faultPlanSpec.empty())
+            opts.faultPlan = FaultPlan::parse(args.faultPlanSpec);
+
+        // Checkpointing hangs off the runner hooks: completed runs
+        // persist atomically from the worker that ran them, and
+        // --resume places Ok records back into their slots without
+        // re-executing.  A save failure degrades to a warning plus
+        // exit code 3 — the sweep itself still completes.
+        std::unique_ptr<CheckpointStore> store;
+        std::mutex ckpt_mtx;
+        std::string ckpt_err;
+        bool ckpt_ok = true;
+        if (!args.checkpointDir.empty()) {
+            const StudyRunner probe(study, opts);
+            store = std::make_unique<CheckpointStore>(
+                args.checkpointDir, probe.fingerprint());
+            std::string err;
+            if (!store->ensureDir(&err)) {
+                std::fprintf(stderr, "cactid-study: %s\n",
+                             err.c_str());
+                return 3;
+            }
+            const FaultPlan plan = opts.faultPlan;
+            CheckpointStore *st = store.get();
+            opts.onRunComplete = [&, plan,
+                                  st](std::size_t index,
+                                      const RunResult &r) {
+                std::string save_err;
+                bool saved = false;
+                if (plan.fires(index, FaultSite::Export, r.attempts))
+                    save_err = "injected export fault (run " +
+                               std::to_string(index) + ")";
+                else
+                    saved = st->save(r, &save_err);
+                if (!saved) {
+                    const std::lock_guard<std::mutex> lock(ckpt_mtx);
+                    ckpt_ok = false;
+                    if (ckpt_err.empty())
+                        ckpt_err = save_err;
+                }
+            };
+            if (args.resume) {
+                opts.reuseRun = [st](std::size_t,
+                                     const std::string &config,
+                                     const std::string &workload,
+                                     RunResult &out) {
+                    RunResult r;
+                    if (st->load(config, workload, r) !=
+                        CheckpointStore::Load::Loaded)
+                        return false;
+                    if (!r.ok()) // failed runs re-execute on resume
+                        return false;
+                    out = std::move(r);
+                    return true;
+                };
+            }
+        }
         const StudyRunner runner(study, opts);
 
         const std::vector<RunResult> runs = runner.runAll();
@@ -295,9 +449,28 @@ main(int argc, char **argv)
             cactid::obs::writeProfileSummary(
                 std::cerr, cactid::obs::Tracer::instance().collect());
         }
-        return io_ok ? 0 : 1;
-    } catch (const std::exception &e) {
+        if (!ckpt_ok)
+            std::fprintf(stderr,
+                         "cactid-study: checkpoint write failed: %s\n",
+                         ckpt_err.c_str());
+        if (!io_ok || !ckpt_ok)
+            return 3;
+        for (const RunResult &r : runs) {
+            if (!r.ok())
+                return 1;
+        }
+        return 0;
+    } catch (const std::invalid_argument &e) {
         std::fprintf(stderr, "cactid-study: %s\n", e.what());
-        return 1;
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cactid-study: internal error: %s\n",
+                     e.what());
+        return 3;
+    } catch (...) {
+        std::fprintf(stderr,
+                     "cactid-study: internal error: unknown "
+                     "exception\n");
+        return 3;
     }
 }
