@@ -142,6 +142,10 @@ makeStallHeavy()
     HierarchyParams hp;
     hp.nCores = kStallCores;
     hp.llc.reset();
+    // Pure compute: no coherence traffic, so sharer tracking is dead
+    // weight.  Explicit broadcast keeps this a scheduler measurement
+    // (and skips allocating a 256-core directory that is never used).
+    hp.dirMode = DirectoryMode::Broadcast;
     WorkloadParams w;
     w.name = "lockserial";
     w.memFrac = 0.0;
@@ -187,6 +191,59 @@ sameAggregates(const SimStats &a, const SimStats &b)
            a.hier.l1Reads == b.hier.l1Reads &&
            a.hier.l2Misses == b.hier.l2Misses &&
            a.dram.reads == b.dram.reads;
+}
+
+// --- Many-core snoop stressor: sparse directory vs broadcast ---------
+//
+// 32 cores on a fully shared, L2-resident working set: writes upgrade
+// and invalidate, the displaced readers re-fetch cache-to-cache, so
+// nearly every transaction snoops.  Broadcast probes all 31 remote L2s
+// per transaction; the sparse directory probes only the tracked
+// sharers.  The simulated machine is identical (probing a non-holder
+// costs no simulated cycles), so the aggregates must match exactly —
+// only the wall-clock throughput may differ, and that gap is the whole
+// point of the directory.
+
+constexpr int kManyCores = 32;
+constexpr int kManyThreadsPerCore = 2;
+constexpr std::uint64_t kManyInstr = 4000;
+
+System
+makeManyCore(DirectoryMode mode)
+{
+    HierarchyParams hp;
+    hp.nCores = kManyCores;
+    hp.llc.reset();
+    hp.dirMode = mode;
+    WorkloadParams w;
+    w.name = "sharestorm";
+    w.memFrac = 0.5;
+    w.hotFrac = 0.0;
+    w.streamFrac = 0.0;
+    w.alpha = 1.0;
+    w.wsBytes = 512 << 10; // resident in every 1MB private L2
+    w.sharedFrac = 1.0;
+    w.barrierEvery = 0;
+    return System(hp, w, kManyInstr, kManyCores, kManyThreadsPerCore);
+}
+
+StallRun
+timeManyCore(DirectoryMode mode, int reps)
+{
+    StallRun r;
+    r.secs = 1e300;
+    for (int i = 0; i < reps; ++i) {
+        System sys = makeManyCore(mode);
+        const auto start = std::chrono::steady_clock::now();
+        r.stats = sys.run();
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (secs < r.secs)
+            r.secs = secs;
+    }
+    return r;
 }
 
 } // namespace
@@ -269,6 +326,43 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(sim_cycles), best, reps,
                 cps);
 
+    // --- 32-core study capture: byte-identity on the sparse path. ---
+    // One pinned 32-core configuration against its golden capture:
+    // the sparse directory's simulated behaviour is frozen the same
+    // way the <=16-core goldens freeze the exact filter's.
+    bool ok32 = true;
+    {
+        std::string g32_json, g32_csv;
+        if (!readFile(golden_dir + "/sim_hotpath_32core.json",
+                      g32_json) ||
+            !readFile(golden_dir + "/sim_hotpath_32core_summary.csv",
+                      g32_csv)) {
+            std::fprintf(stderr,
+                         "cannot read 32-core goldens under %s\n",
+                         golden_dir.c_str());
+            return 2;
+        }
+        RunnerOptions o32;
+        o32.instrPerThread = 5000;
+        o32.epochCycles = 5000;
+        o32.thermal = false;
+        o32.configs = {"nol3"};
+        o32.workloads = {"cg.C"};
+        o32.nCores = 32;
+        o32.dirMode = DirectoryMode::Sparse;
+        o32.jobs = 1;
+        const StudyRunner r32(study, o32);
+        const std::vector<RunResult> runs32 = r32.runAll();
+        std::ostringstream js32, cs32;
+        exportJson(js32, runs32, r32);
+        exportSummaryCsv(cs32, runs32);
+        std::printf("identity vs %s (32-core sparse):\n",
+                    golden_dir.c_str());
+        ok32 &= checkIdentity("study JSON", js32.str(), g32_json, true);
+        ok32 &= checkIdentity("summary CSV", cs32.str(), g32_csv, false);
+        ok &= ok32;
+    }
+
     // --- Stall-heavy: event-driven loop vs reference scan. ---
     const StallRun ev = timeStallHeavy(true, reps);
     const StallRun ref = timeStallHeavy(false, reps);
@@ -286,6 +380,28 @@ main(int argc, char **argv)
                 kStallCores, kStallThreadsPerCore, ev_cps, ev.secs,
                 ref_cps, ref.secs, speedup,
                 stall_same ? "IDENTICAL" : "DIFFER");
+
+    // --- Many-core: sparse directory vs broadcast fallback. ---
+    const StallRun sd = timeManyCore(DirectoryMode::Sparse, reps);
+    const StallRun bc = timeManyCore(DirectoryMode::Broadcast, reps);
+    const bool many_same = sameAggregates(sd.stats, bc.stats);
+    const double sd_cps =
+        sd.secs > 0 ? double(sd.stats.cycles) / sd.secs : 0.0;
+    const double bc_cps =
+        bc.secs > 0 ? double(bc.stats.cycles) / bc.secs : 0.0;
+    const double dir_speedup = bc_cps > 0 ? sd_cps / bc_cps : 0.0;
+    const bool dir_fast_enough = dir_speedup >= 2.0;
+    ok &= many_same;
+    ok &= dir_fast_enough;
+    std::printf("many-core (%d cores x %d threads, shared writes):\n"
+                "  sparse dir    %.3e cycles/s (%.3f s)\n"
+                "  broadcast     %.3e cycles/s (%.3f s)\n"
+                "  speedup       %.2fx (gate: >= 2x %s)   aggregates "
+                "%s\n",
+                kManyCores, kManyThreadsPerCore, sd_cps, sd.secs,
+                bc_cps, bc.secs, dir_speedup,
+                dir_fast_enough ? "PASS" : "FAIL",
+                many_same ? "IDENTICAL" : "DIFFER");
 
     using cactid::obs::fmtDouble;
     using cactid::obs::jsonEscape;
@@ -315,6 +431,25 @@ main(int argc, char **argv)
        << "    \"reference_cycles_per_sec\": " << fmtDouble(ref_cps)
        << ",\n"
        << "    \"speedup\": " << fmtDouble(speedup) << "\n"
+       << "  },\n"
+       << "  \"manycore_32\": {\n"
+       << "    \"cores\": " << kManyCores << ",\n"
+       << "    \"threads_per_core\": " << kManyThreadsPerCore << ",\n"
+       << "    \"instr_per_thread\": " << kManyInstr << ",\n"
+       << "    \"sim_cycles\": " << sd.stats.cycles << ",\n"
+       << "    \"golden_identical\": " << (ok32 ? "true" : "false")
+       << ",\n"
+       << "    \"aggregates_identical\": "
+       << (many_same ? "true" : "false") << ",\n"
+       << "    \"dir_evictions\": " << sd.stats.dirEvictions << ",\n"
+       << "    \"dir_overflows\": " << sd.stats.dirOverflows << ",\n"
+       << "    \"sparse_cycles_per_sec\": " << fmtDouble(sd_cps)
+       << ",\n"
+       << "    \"broadcast_cycles_per_sec\": " << fmtDouble(bc_cps)
+       << ",\n"
+       << "    \"speedup\": " << fmtDouble(dir_speedup) << ",\n"
+       << "    \"speedup_gate_2x\": "
+       << (dir_fast_enough ? "true" : "false") << "\n"
        << "  },\n"
        << "  \"reps\": " << reps << "\n"
        << "}\n";

@@ -14,7 +14,11 @@
 #include "sim/cache/coherence.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
 
 namespace archsim {
 
@@ -64,12 +68,42 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &p)
         l1d_.emplace_back(p.l1Bytes, p.l1Assoc, p.lineBytes);
         l2_.emplace_back(p.l2Bytes, p.l2Assoc, p.lineBytes);
     }
-    if (p.nCores <= SnoopFilter::kMaxCores) {
-        // Presize for the worst case: every L2 line live at once.
-        const std::size_t live =
-            std::size_t(p.nCores) *
-            (p.l2Bytes / std::uint64_t(p.lineBytes));
+    // Worst-case live line count: every L2 line valid at once.
+    const std::size_t live = std::size_t(p.nCores) *
+                             (p.l2Bytes / std::uint64_t(p.lineBytes));
+    switch (p.dirMode) {
+      case DirectoryMode::Auto:
+        if (p.nCores <= SnoopFilter::kMaxCores) {
+            snoop_ = std::make_unique<SnoopFilter>(p.nCores, live);
+        } else {
+            // The old behaviour was to fall back to broadcast here,
+            // silently.  Switching protocols implicitly still deserves
+            // a heads-up: once per process, plus a per-run counter.
+            sdir_ = std::make_unique<SparseDirectory>(p.nCores, p.dir,
+                                                      live);
+            implicitSparse_ = true;
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true)) {
+                std::fprintf(stderr,
+                             "archsim: %d cores exceed the exact "
+                             "snoop filter (16); using a sparse "
+                             "directory (%zu sets x %d ways x %d "
+                             "pointers). Set DirectoryMode explicitly "
+                             "to silence this.\n",
+                             p.nCores, sdir_->sets(), sdir_->assoc(),
+                             sdir_->pointers());
+            }
+        }
+        break;
+      case DirectoryMode::Snoop:
+        // Constructor throws past kMaxCores, naming the limit.
         snoop_ = std::make_unique<SnoopFilter>(p.nCores, live);
+        break;
+      case DirectoryMode::Broadcast:
+        break;
+      case DirectoryMode::Sparse:
+        sdir_ = std::make_unique<SparseDirectory>(p.nCores, p.dir, live);
+        break;
     }
     if (p.llc)
         llc_ = std::make_unique<Llc>(*p.llc);
@@ -85,6 +119,8 @@ CacheHierarchy::fillL1(SetAssocCache &l1, int core, Addr line, CState st)
             l->setState(CState::Modified);
             if (snoop_)
                 snoop_->setOwner(v.addr, core);
+            if (sdir_)
+                sdir_->setOwner(v.addr, core);
         }
     }
 }
@@ -101,19 +137,55 @@ CacheHierarchy::writebackFromL2(Addr line, Cycle now)
 }
 
 void
+CacheHierarchy::sdirAllocate(Addr line, Cycle now)
+{
+    const SparseDirectory::Victim dv = sdir_->allocate(line);
+    if (!dv.valid)
+        return;
+    // A directory entry was evicted: the directory is the only record
+    // of who holds that line, so every tracked sharer must give up its
+    // copy (ascending id, like every other snoop walk).  A Modified
+    // copy is written back first — dropping it would lose the data.
+    OBS_EVENT(trace_, .name = "dir.evict", .cat = "dir", .ph = 'i',
+              .ts = now, .argName = "line", .argValue = dv.line,
+              .argStrName = "repr", .argStr = dv.overflow ? "all" : "ptr");
+    for (int o : dv.sharers) {
+        if (SetAssocCache::Line *l = l2_[o].probe(dv.line)) {
+            if (l->state() == CState::Modified)
+                writebackFromL2(dv.line, now);
+        }
+        invalidateCore(o, dv.line);
+    }
+}
+
+void
 CacheHierarchy::fillL2(int core, Addr line, CState st, Cycle now)
 {
     ++counters_.l2Writes;
+    if (sdir_)
+        sdirAllocate(line, now);
     const SetAssocCache::Victim v = l2_[core].insert(line, st);
     if (snoop_) {
         snoop_->addSharer(line, core);
         if (st == CState::Modified)
             snoop_->setOwner(line, core);
     }
+    if (sdir_) {
+        if (sdir_->addSharer(line, core)) {
+            OBS_EVENT(trace_, .name = "dir.overflow", .cat = "dir",
+                      .ph = 'i', .ts = now,
+                      .tid = std::uint32_t(core),
+                      .argName = "line", .argValue = line);
+        }
+        if (st == CState::Modified)
+            sdir_->setOwner(line, core);
+    }
     if (v.valid) {
         // Inclusion: the L1s may not keep a line the L2 dropped.
         if (snoop_)
             snoop_->removeSharer(v.addr, core);
+        if (sdir_)
+            sdir_->removeSharer(v.addr, core);
         l1i_[core].invalidate(v.addr);
         l1d_[core].invalidate(v.addr);
         if (v.state == CState::Modified)
@@ -127,6 +199,8 @@ CacheHierarchy::invalidateCore(int o, Addr line)
     l2_[o].invalidate(line);
     if (snoop_)
         snoop_->removeSharer(line, o);
+    if (sdir_)
+        sdir_->removeSharer(line, o);
     l1i_[o].invalidate(line);
     l1d_[o].invalidate(line);
 }
@@ -184,6 +258,12 @@ CacheHierarchy::fetchFromBeyondL2(int core, Addr line, bool write,
             mask &= mask - 1;
             snoopOne(o);
         }
+    } else if (sdir_) {
+        // The directory's snoop set: exact pointers normally, every
+        // core when the entry overflowed.  Ascending either way.
+        sdir_->snoopSet(line, core, snoopScratch_);
+        for (int o : snoopScratch_)
+            snoopOne(o);
     } else {
         for (int o = 0; o < p_.nCores; ++o) {
             if (o != core)
@@ -279,54 +359,94 @@ CacheHierarchy::coherent(Addr addr)
 bool
 CacheHierarchy::snoopFilterConsistent(Addr addr) const
 {
-    if (!snoop_)
+    if (!snoop_ && !sdir_)
         return true;
     const Addr line = l2_[0].lineAddr(addr);
-    std::uint16_t mask = 0;
+    std::vector<int> holders;
     int owner = -1;
     for (int c = 0; c < p_.nCores; ++c) {
         // probe() is non-const only because it refreshes the MRU way
         // hint, which never changes observable behaviour.
         auto &l2 = const_cast<SetAssocCache &>(l2_[c]);
         if (const SetAssocCache::Line *l = l2.probe(line)) {
-            mask |= std::uint16_t(1u << c);
+            holders.push_back(c);
             if (l->state() == CState::Modified)
                 owner = c;
         }
     }
-    return snoop_->sharers(line) == mask &&
-           snoop_->owner(line) == owner;
+    if (snoop_) {
+        std::uint16_t mask = 0;
+        for (int c : holders)
+            mask |= std::uint16_t(1u << c);
+        return snoop_->sharers(line) == mask &&
+               snoop_->owner(line) == owner;
+    }
+    // Sparse directory: exact sharer-set equality (ascending both
+    // sides), owner match, and the representation invariants — a
+    // pointer-mode entry holds at most `pointers` sharers, and an
+    // overflowed entry at least 2 (it demotes back to pointers at 1,
+    // the only point where the hardware learns the set again — so it
+    // may hold fewer than `pointers` sharers after evictions, but
+    // never fewer than 2).
+    if (sdir_->sharers(line) != holders)
+        return false;
+    if (sdir_->owner(line) != owner)
+        return false;
+    const int n = sdir_->sharerCount(line);
+    if (sdir_->overflowed(line)) {
+        if (n < 2)
+            return false;
+    } else if (n > sdir_->pointers()) {
+        return false;
+    }
+    return true;
 }
 
 bool
 CacheHierarchy::snoopFilterConsistent() const
 {
-    if (!snoop_)
+    if (!snoop_ && !sdir_)
         return true;
-    // Arrays -> filter: every valid L2 line must be present with the
-    // right bit (and M implies ownership).
+    // Arrays -> directory: every valid L2 line must be tracked with
+    // the right membership (and M implies ownership).
     std::size_t array_lines = 0;
     bool ok = true;
     for (int c = 0; c < p_.nCores; ++c) {
         l2_[c].forEachValid([&](Addr line, CState st) {
             ++array_lines;
-            if (!(snoop_->sharers(line) & (1u << c)))
-                ok = false;
-            if (st == CState::Modified && snoop_->owner(line) != c)
-                ok = false;
+            if (snoop_) {
+                if (!(snoop_->sharers(line) & (1u << c)))
+                    ok = false;
+                if (st == CState::Modified && snoop_->owner(line) != c)
+                    ok = false;
+            } else {
+                const std::vector<int> s = sdir_->sharers(line);
+                if (!std::binary_search(s.begin(), s.end(), c))
+                    ok = false;
+                if (st == CState::Modified && sdir_->owner(line) != c)
+                    ok = false;
+            }
         });
     }
     if (!ok)
         return false;
-    // Filter -> arrays: every entry rebuilds exactly, and the live
-    // bit count matches the array population (no phantom sharers).
-    std::size_t filter_bits = 0;
-    for (const SnoopFilter::Entry &e : snoop_->entries()) {
-        filter_bits += std::popcount(std::uint32_t(e.sharers));
-        if (!snoopFilterConsistent(e.line))
-            return false;
+    // Directory -> arrays: every entry rebuilds exactly, and the live
+    // sharer count matches the array population (no phantom sharers).
+    std::size_t dir_count = 0;
+    if (snoop_) {
+        for (const SnoopFilter::Entry &e : snoop_->entries()) {
+            dir_count += std::popcount(std::uint32_t(e.sharers));
+            if (!snoopFilterConsistent(e.line))
+                return false;
+        }
+    } else {
+        for (const SparseDirectory::Entry &e : sdir_->entries()) {
+            dir_count += e.sharers.size();
+            if (!snoopFilterConsistent(e.line))
+                return false;
+        }
     }
-    return filter_bits == array_lines;
+    return dir_count == array_lines;
 }
 
 CacheHierarchy::Result
@@ -360,6 +480,8 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
                 l->setState(CState::Modified);
                 if (snoop_)
                     snoop_->setOwner(line, core);
+                if (sdir_)
+                    sdir_->setOwner(line, core);
             }
             fillL1(l1, core, line,
                    write ? CState::Modified : l->state());
@@ -380,6 +502,10 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
                 mask &= mask - 1;
                 invalidateCore(o, line);
             }
+        } else if (sdir_) {
+            sdir_->snoopSet(line, core, snoopScratch_);
+            for (int o : snoopScratch_)
+                invalidateCore(o, line);
         } else {
             for (int o = 0; o < p_.nCores; ++o) {
                 if (o != core)
@@ -390,6 +516,8 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
         l->setState(CState::Modified);
         if (snoop_)
             snoop_->setOwner(line, core);
+        if (sdir_)
+            sdir_->setOwner(line, core);
         fillL1(l1, core, line, CState::Modified);
         r.latency = p_.l1Cycles + p_.l2Cycles + 2 * p_.xbarCycles;
         r.servedBy = ServedBy::L2;

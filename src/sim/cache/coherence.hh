@@ -12,6 +12,13 @@
  * cores that actually hold the line instead of broadcasting to all of
  * them — the visible protocol behaviour (states, counters, events,
  * latencies) is identical to the broadcast implementation.
+ *
+ * The filter's 16-bit mask caps it at 16 cores.  Wider systems use a
+ * SparseDirectory (limited-pointer entries + overflow bit, LRU sets)
+ * selected by HierarchyParams::dirMode; unlike the filter, a sparse
+ * directory is a real structure with capacity misses, and evicting a
+ * directory entry invalidates its tracked sharers (a protocol-visible
+ * difference from broadcast, counted and traced as dir.evict).
  */
 
 #ifndef ARCHSIM_CACHE_COHERENCE_HH
@@ -24,6 +31,7 @@
 #include "sim/cache/cache.hh"
 #include "sim/cache/llc.hh"
 #include "sim/cache/snoopfilter.hh"
+#include "sim/cache/sparsedir.hh"
 #include "sim/common.hh"
 #include "sim/dram/dram.hh"
 
@@ -45,6 +53,15 @@ struct HierarchyParams {
     Cycle xbarCycles = 2;   ///< one crossbar traversal
     std::optional<LlcParams> llc; ///< absent for the no-L3 system
     DramParams dram;
+
+    /**
+     * Sharer tracking (see DirectoryMode).  Auto keeps the exact
+     * SnoopFilter up to 16 cores — byte-identical to the pinned
+     * goldens — and switches to the sparse directory beyond, with a
+     * one-time warning.  Snoop throws for >16 cores.
+     */
+    DirectoryMode dirMode = DirectoryMode::Auto;
+    SparseDirParams dir; ///< sparse-directory geometry
 };
 
 /** Which level serviced a request (for cycle attribution). */
@@ -99,22 +116,35 @@ class CacheHierarchy
     bool coherent(Addr addr);
 
     /**
-     * Directory equivalence for one line: the snoop filter's sharer
-     * mask and dirty owner must equal what a probe of every core's L2
-     * array rebuilds.  Always true for systems too wide for the
-     * filter (which fall back to broadcast snooping).
+     * Directory equivalence for one line: the directory's sharer set
+     * and dirty owner must equal what a probe of every core's L2
+     * array rebuilds.  Audits whichever directory is active — the
+     * snoop filter's mask, or the sparse directory's exact sharer
+     * list (plus its representation invariants: overflow implies
+     * more than `pointers` sharers, exact implies at most).  Always
+     * true in Broadcast mode (nothing to audit).
      */
     bool snoopFilterConsistent(Addr addr) const;
 
     /**
-     * Full directory audit: every valid L2 line is a filter entry and
-     * every filter entry matches the arrays.  O(total L2 lines); for
-     * the stress tests, never the hot path.
+     * Full directory audit: every valid L2 line is a directory entry
+     * and every directory entry matches the arrays.  O(total L2
+     * lines); for the stress tests, never the hot path.
      */
     bool snoopFilterConsistent() const;
 
-    /** The directory (nullptr when nCores > SnoopFilter::kMaxCores). */
+    /** The exact filter (nullptr unless it is the active directory). */
     const SnoopFilter *snoopFilter() const { return snoop_.get(); }
+
+    /** The sparse directory (nullptr unless it is active). */
+    const SparseDirectory *sparseDir() const { return sdir_.get(); }
+
+    /**
+     * True when DirectoryMode::Auto resolved to the sparse directory
+     * (nCores > 16 without an explicit mode) — surfaced as the
+     * sim.dir.implicit_sparse obs counter and a one-time warning.
+     */
+    bool implicitSparse() const { return implicitSparse_; }
 
     const HierCounters &counters() const { return counters_; }
     const DramCounters &dramCounters() const { return mem_.counters(); }
@@ -148,15 +178,25 @@ class CacheHierarchy
     /** Drop @p line from core @p o's L2 + L1s, directory included. */
     void invalidateCore(int o, Addr line);
 
+    /**
+     * Ensure a sparse-directory entry for @p line, invalidating (and
+     * writing back Modified copies of) the tracked sharers of any
+     * entry the allocation evicts.
+     */
+    void sdirAllocate(Addr line, Cycle now);
+
     HierarchyParams p_;
     std::vector<SetAssocCache> l1i_;
     std::vector<SetAssocCache> l1d_;
     std::vector<SetAssocCache> l2_;
     std::unique_ptr<SnoopFilter> snoop_;
+    std::unique_ptr<SparseDirectory> sdir_;
     std::unique_ptr<Llc> llc_;
     MemorySystem mem_;
     HierCounters counters_;
     obs::TraceBuffer *trace_ = nullptr;
+    bool implicitSparse_ = false;
+    std::vector<int> snoopScratch_; ///< snoopSet() reuse (no hot allocs)
 };
 
 } // namespace archsim

@@ -320,9 +320,21 @@ System::throwDeadlock(Cycle cycle) const
         std::to_string(total.lock) + " lock, " +
         std::to_string(total.other) + " other; " +
         std::to_string(total.retired) + " retired; per core [";
+    // Wide systems would produce a census line hundreds of cores long,
+    // almost all of them fully retired: past 16 cores list only the
+    // cores that still have blocked threads, capped at 16 entries.
+    const bool compact = cores.size() > 16;
+    constexpr std::size_t kMaxListed = 16;
+    std::size_t listed = 0, suppressed = 0;
     for (std::size_t c = 0; c < cores.size(); ++c) {
         const Waits &w = cores[c];
-        if (c)
+        if (compact && w.barrier + w.lock + w.other == 0)
+            continue;
+        if (listed >= kMaxListed) {
+            ++suppressed;
+            continue;
+        }
+        if (listed++)
             msg += ' ';
         msg += 'c';
         msg += std::to_string(c);
@@ -336,6 +348,8 @@ System::throwDeadlock(Cycle cycle) const
         msg += std::to_string(w.other);
         msg += 'o';
     }
+    if (suppressed)
+        msg += " +" + std::to_string(suppressed) + " more";
     msg += "])";
     throw SimDeadlock(msg, cycle);
 }
@@ -390,6 +404,16 @@ System::finalize(Cycle cycle, EpochRecorder *rec)
     hier_.memory().finish(cycle);
     s.hier = hier_.counters();
     s.dram = hier_.dramCounters();
+    if (const SparseDirectory *d = hier_.sparseDir()) {
+        s.dirLive = d->size();
+        s.dirCapacity = d->capacity();
+        s.dirPeakLive = d->stats().peakLive;
+        s.dirEvictions = d->stats().evictions;
+        s.dirEvictionInvals = d->stats().evictionInvals;
+        s.dirOverflows = d->stats().overflows;
+        s.dirDemotions = d->stats().demotions;
+        s.dirImplicitSparse = hier_.implicitSparse() ? 1 : 0;
+    }
     s.memPoweredDownFraction =
         hier_.memory().poweredDownFraction(cycle);
     if (const Llc *l = hier_.llc()) {

@@ -91,6 +91,20 @@ struct SimStats {
 
     HierCounters hier;
     DramCounters dram;
+
+    // Sparse-directory occupancy/traffic (zero unless the run used
+    // one; see sim/cache/sparsedir.hh).  Surfaced as sim.dir.* in the
+    // obs registry, never in the golden-pinned study exports.
+    std::uint64_t dirLive = 0;     ///< entries live at end of run
+    std::uint64_t dirCapacity = 0; ///< sets x assoc
+    std::uint64_t dirPeakLive = 0;
+    std::uint64_t dirEvictions = 0;
+    std::uint64_t dirEvictionInvals = 0;
+    std::uint64_t dirOverflows = 0;
+    std::uint64_t dirDemotions = 0;
+    /** 1 when DirectoryMode::Auto resolved to sparse (>16 cores). */
+    std::uint64_t dirImplicitSparse = 0;
+
     double memPoweredDownFraction = 0.0;
     std::uint64_t llcReads = 0;
     std::uint64_t llcWrites = 0;

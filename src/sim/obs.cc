@@ -24,6 +24,15 @@ registerSimStats(cactid::obs::Registry &r, const SimStats &s)
     r.counter("sim.xbar.transfers") = h.xbarTransfers;
     r.counter("sim.xbar.c2c_transfers") = h.c2cTransfers;
 
+    r.counter("sim.dir.live_entries") = s.dirLive;
+    r.counter("sim.dir.capacity") = s.dirCapacity;
+    r.counter("sim.dir.peak_live") = s.dirPeakLive;
+    r.counter("sim.dir.evictions") = s.dirEvictions;
+    r.counter("sim.dir.eviction_invals") = s.dirEvictionInvals;
+    r.counter("sim.dir.overflows") = s.dirOverflows;
+    r.counter("sim.dir.demotions") = s.dirDemotions;
+    r.counter("sim.dir.implicit_sparse") = s.dirImplicitSparse;
+
     r.counter("sim.llc.reads") = s.llcReads;
     r.counter("sim.llc.writes") = s.llcWrites;
     r.counter("sim.llc.hits") = s.llcHits;

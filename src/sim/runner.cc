@@ -93,10 +93,18 @@ StudyRunner::execute(const std::string &config,
                             config + ", solve site)");
     }
     HierarchyParams hp = study_->hierarchyFor(config);
+    if (opts_.nCores > 0)
+        hp.nCores = opts_.nCores;
+    hp.dirMode = opts_.dirMode;
+    hp.dir = opts_.dir;
     if (opts_.tweakHierarchy)
         opts_.tweakHierarchy(config, hp);
 
-    System sys(hp, study_->scaledWorkload(w), instr_);
+    // The System's core count follows the hierarchy's (possibly
+    // tweaked) geometry, so an ablation changing hp.nCores gets the
+    // matching number of simulated cores.
+    const int tpc = opts_.threadsPerCore > 0 ? opts_.threadsPerCore : 4;
+    System sys(hp, study_->scaledWorkload(w), instr_, hp.nCores, tpc);
 
     RunResult r;
     r.config = config;
@@ -249,9 +257,25 @@ StudyRunner::tasks() const
 std::string
 StudyRunner::fingerprint() const
 {
-    return sweepFingerprint(instr_, opts_.epochCycles,
-                            opts_.exactEvents, opts_.thermal,
-                            opts_.maxCycles);
+    std::string fp = sweepFingerprint(instr_, opts_.epochCycles,
+                                      opts_.exactEvents, opts_.thermal,
+                                      opts_.maxCycles);
+    // Many-core / directory knobs join the fingerprint only when set,
+    // so checkpoints of default-geometry sweeps keep their old keys.
+    const SparseDirParams def;
+    const bool dir_default = opts_.dir.sets == def.sets &&
+                             opts_.dir.assoc == def.assoc &&
+                             opts_.dir.pointers == def.pointers;
+    if (opts_.nCores > 0 || opts_.threadsPerCore > 0 ||
+        opts_.dirMode != DirectoryMode::Auto || !dir_default) {
+        fp += "|cores=" + std::to_string(opts_.nCores) + "x" +
+              std::to_string(opts_.threadsPerCore) + "|dir=" +
+              std::to_string(int(opts_.dirMode)) + ":" +
+              std::to_string(opts_.dir.sets) + ":" +
+              std::to_string(opts_.dir.assoc) + ":" +
+              std::to_string(opts_.dir.pointers);
+    }
+    return fp;
 }
 
 std::vector<RunResult>

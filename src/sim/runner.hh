@@ -46,6 +46,22 @@ struct RunnerOptions {
     /** Instruction budget per hardware thread; 0 = the study default. */
     std::uint64_t instrPerThread = 0;
 
+    /**
+     * Cores per simulated system; 0 = the study default (8).  Values
+     * past 16 exceed the exact snoop filter: pick a DirectoryMode, or
+     * Auto will switch to the sparse directory with a warning.
+     */
+    int nCores = 0;
+
+    /** Hardware threads per core; 0 = the default (4). */
+    int threadsPerCore = 0;
+
+    /** Sharer tracking (sim/cache/sparsedir.hh); Auto = default. */
+    DirectoryMode dirMode = DirectoryMode::Auto;
+
+    /** Sparse-directory geometry (used when the sparse path is on). */
+    SparseDirParams dir;
+
     /** Epoch sampling interval in CPU cycles; 0 disables sampling. */
     Cycle epochCycles = 0;
 

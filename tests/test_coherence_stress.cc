@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "obs/trace.hh"
 #include "sim/cache/coherence.hh"
 #include "sim/common.hh"
@@ -36,16 +38,22 @@ stressSystem(bool with_l3)
 
 /** Shared fixture logic: random traffic + invariant checks. */
 void
-stress(bool with_l3, std::uint64_t seed, int accesses, int lines)
+stress(bool with_l3, std::uint64_t seed, int accesses, int lines,
+       int cores = 8, DirectoryMode dir_mode = DirectoryMode::Auto,
+       SparseDirParams dir = {})
 {
-    CacheHierarchy h(stressSystem(with_l3));
+    HierarchyParams base = stressSystem(with_l3);
+    base.nCores = cores;
+    base.dirMode = dir_mode;
+    base.dir = dir;
+    CacheHierarchy h(base);
     Rng rng(seed);
     Cycle now = 0;
     std::vector<Addr> touched;
     for (int i = 0; i < accesses; ++i) {
         // Small line pool -> constant conflict and sharing.
         const Addr addr = rng.below(lines) * 64;
-        const int core = int(rng.below(8));
+        const int core = int(rng.below(cores));
         const bool write = rng.uniform() < 0.4;
         const auto r = h.access(core, addr, write, false, now);
         now += r.latency + 1;
@@ -128,10 +136,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceStressSeeds,
  */
 void
 propertyStress(bool with_l3, std::uint64_t seed, int accesses,
-               int lines)
+               int lines, int kCores = 8,
+               DirectoryMode dir_mode = DirectoryMode::Auto,
+               SparseDirParams dir = {})
 {
-    constexpr int kCores = 8;
-    CacheHierarchy h(stressSystem(with_l3));
+    HierarchyParams base = stressSystem(with_l3);
+    base.nCores = kCores;
+    base.dirMode = dir_mode;
+    base.dir = dir;
+    CacheHierarchy h(base);
     Rng rng(seed);
     Cycle now = 0;
 
@@ -210,15 +223,51 @@ TEST(CoherenceProperties, SingleLineContention)
     propertyStress(true, 0xACE, 2000, 1);
 }
 
-TEST(CoherenceStress, BroadcastFallbackBeyondFilterWidth)
+TEST(CoherenceStress, AutoModeBeyondFilterWidthUsesSparseDirectory)
 {
-    // Wider than the filter supports: the hierarchy must drop back to
-    // broadcast snooping (no directory) and stay coherent.
+    // Wider than the exact filter supports with no explicit directory
+    // mode: the hierarchy must NOT silently drop to broadcast — it
+    // builds a sparse directory, flags the implicit fallback (surfaced
+    // as sim.dir.implicit_sparse plus a one-time stderr warning), and
+    // stays coherent.
     constexpr int kCores = SnoopFilter::kMaxCores + 1;
     HierarchyParams hp = stressSystem(true);
     hp.nCores = kCores;
     CacheHierarchy h(hp);
     ASSERT_EQ(h.snoopFilter(), nullptr);
+    ASSERT_NE(h.sparseDir(), nullptr);
+    ASSERT_TRUE(h.implicitSparse());
+
+    Rng rng(0xFA11);
+    Cycle now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = rng.below(48) * 64;
+        const int core = int(rng.below(kCores));
+        const bool write = rng.uniform() < 0.4;
+        const auto r = h.access(core, addr, write, false, now);
+        now += r.latency + 1;
+        ASSERT_TRUE(h.coherent(addr)) << "access " << i;
+        ASSERT_TRUE(h.snoopFilterConsistent(addr)) << "access " << i;
+        if (write) {
+            ASSERT_TRUE(writable(h.l2State(core, addr)))
+                << "writer lacks ownership, access " << i;
+        }
+    }
+    ASSERT_TRUE(h.snoopFilterConsistent());
+}
+
+TEST(CoherenceStress, ExplicitBroadcastBeyondFilterWidth)
+{
+    // Opting into broadcast explicitly is still allowed: no filter, no
+    // directory, no implicit-fallback flag — and still coherent.
+    constexpr int kCores = SnoopFilter::kMaxCores + 1;
+    HierarchyParams hp = stressSystem(true);
+    hp.nCores = kCores;
+    hp.dirMode = DirectoryMode::Broadcast;
+    CacheHierarchy h(hp);
+    ASSERT_EQ(h.snoopFilter(), nullptr);
+    ASSERT_EQ(h.sparseDir(), nullptr);
+    ASSERT_FALSE(h.implicitSparse());
 
     Rng rng(0xFA11);
     Cycle now = 0;
@@ -237,6 +286,55 @@ TEST(CoherenceStress, BroadcastFallbackBeyondFilterWidth)
         }
     }
     ASSERT_TRUE(h.snoopFilterConsistent());
+}
+
+TEST(CoherenceStress, ExplicitSnoopBeyondFilterWidthThrows)
+{
+    HierarchyParams hp = stressSystem(false);
+    hp.nCores = SnoopFilter::kMaxCores + 1;
+    hp.dirMode = DirectoryMode::Snoop;
+    EXPECT_THROW(CacheHierarchy h(hp), std::invalid_argument);
+}
+
+/** A deliberately tiny directory so evictions and overflow both fire. */
+SparseDirParams
+tinyDir()
+{
+    SparseDirParams p;
+    p.sets = 16;
+    p.assoc = 2;
+    p.pointers = 2;
+    return p;
+}
+
+TEST(CoherenceStress, SparseDirectory32Cores)
+{
+    stress(true, 0x32C0, 3000, 64, 32, DirectoryMode::Sparse,
+           tinyDir());
+}
+
+TEST(CoherenceStress, SparseDirectory64Cores)
+{
+    stress(false, 0x64C0, 3000, 64, 64, DirectoryMode::Sparse,
+           tinyDir());
+}
+
+TEST(CoherenceProperties, SparseDirectory32Cores)
+{
+    propertyStress(true, 0x325D, 3000, 48, 32, DirectoryMode::Sparse,
+                   tinyDir());
+}
+
+TEST(CoherenceProperties, SparseDirectory64Cores)
+{
+    propertyStress(false, 0x645D, 3000, 48, 64, DirectoryMode::Sparse,
+                   tinyDir());
+}
+
+TEST(CoherenceProperties, SparseSingleLineContention)
+{
+    propertyStress(true, 0xACE2, 2000, 1, 32, DirectoryMode::Sparse,
+                   tinyDir());
 }
 
 class CoherencePropertySeeds : public ::testing::TestWithParam<int>
@@ -300,6 +398,54 @@ TEST(CoherenceStress, BarrierMultiWakeStepsCoresInAscendingIdOrder)
         ASSERT_EQ(ea[i].dur, eb[i].dur) << "event " << i;
         ASSERT_EQ(ea[i].tid, eb[i].tid) << "event " << i;
         ASSERT_EQ(ea[i].argValue, eb[i].argValue) << "event " << i;
+    }
+}
+
+TEST(CoherenceStress, ManyCoreEventModeMatchesReference)
+{
+    // 32 cores on the implicit sparse-directory path: the event-driven
+    // scheduler and the reference loop must still agree cycle-for-cycle
+    // — the directory adds snoop targeting and eviction invalidations,
+    // and both run modes must see the identical sequence of them.  A
+    // fully shared working set with barriers keeps the directory busy.
+    HierarchyParams hp = stressSystem(true);
+    hp.nCores = 32;
+    WorkloadParams w;
+    w.name = "manycore";
+    w.memFrac = 0.3;
+    w.hotFrac = 0.2;
+    w.streamFrac = 0.0;
+    w.alpha = 1.0;
+    w.wsBytes = 1 << 20;
+    w.sharedFrac = 1.0;
+    w.barrierEvery = 40;
+    System ev(hp, w, 300, 32, 2);
+    System ref(hp, w, 300, 32, 2);
+    obs::TraceBuffer ta(1 << 18);
+    obs::TraceBuffer tb(1 << 18);
+    ev.setTrace(&ta);
+    ref.setTrace(&tb);
+    const SimStats a = ev.run();
+    const SimStats b = ref.runReference();
+    EXPECT_EQ(a.dirImplicitSparse, 1u);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.hier.l1Reads, b.hier.l1Reads);
+    EXPECT_EQ(a.hier.l2Misses, b.hier.l2Misses);
+    EXPECT_EQ(a.hier.c2cTransfers, b.hier.c2cTransfers);
+    EXPECT_EQ(a.llcReads, b.llcReads);
+    EXPECT_EQ(a.dirEvictions, b.dirEvictions);
+    EXPECT_EQ(a.dirOverflows, b.dirOverflows);
+
+    ASSERT_EQ(ta.dropped(), 0u);
+    ASSERT_EQ(tb.dropped(), 0u);
+    const auto ea = ta.events();
+    const auto eb = tb.events();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        ASSERT_STREQ(ea[i].name, eb[i].name) << "event " << i;
+        ASSERT_EQ(ea[i].ts, eb[i].ts) << "event " << i;
+        ASSERT_EQ(ea[i].tid, eb[i].tid) << "event " << i;
     }
 }
 

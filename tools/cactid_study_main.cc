@@ -29,6 +29,12 @@
  *   cactid-study --max-cycles N          per-run simulated-cycle budget
  *   cactid-study --max-wall-ms N         per-run wall-clock budget
  *   cactid-study --retry N               attempts per failed run
+ *   cactid-study --cores N               cores per system (default 8)
+ *   cactid-study --threads-per-core N    hardware threads per core (4)
+ *   cactid-study --dir-mode MODE         sharer tracking: auto, snoop,
+ *                                        broadcast or sparse
+ *   cactid-study --dir-sets/--dir-assoc/--dir-pointers
+ *                                        sparse-directory geometry
  *   cactid-study --version               build stamp
  *
  * Exit codes: 0 every run Ok; 1 the sweep completed but some run is
@@ -102,6 +108,18 @@ printHelp()
         "  --retry N          total attempts per failed run\n"
         "                     (default 1 = no retry)\n"
         "  --retry-timeouts   also retry timed-out runs\n"
+        "  --cores N          cores per simulated system (default 8;\n"
+        "                     >16 needs a directory: auto switches to\n"
+        "                     the sparse directory with a warning)\n"
+        "  --threads-per-core N\n"
+        "                     hardware threads per core (default 4)\n"
+        "  --dir-mode MODE    sharer tracking: auto (default), snoop\n"
+        "                     (exact filter, <=16 cores), broadcast,\n"
+        "                     or sparse (limited-pointer directory)\n"
+        "  --dir-sets N       sparse-directory sets (power of two;\n"
+        "                     0 = auto-size to 2x the L2 lines)\n"
+        "  --dir-assoc N      sparse-directory ways per set (default 8)\n"
+        "  --dir-pointers N   exact core pointers per entry (default 4)\n"
         "  --fault-plan SPEC  inject deterministic faults (testing);\n"
         "                     SPEC = INDEX@SITE[:CYCLE][xN],... with\n"
         "                     SITE one of solve step timeout export\n"
@@ -136,6 +154,12 @@ struct CliArgs {
     archsim::Cycle maxCycles = 0;
     std::uint64_t maxWallMs = 0;
     int retry = 1;
+    int cores = 0;
+    int threadsPerCore = 0;
+    std::string dirMode = "auto";
+    std::size_t dirSets = 0;
+    int dirAssoc = 8;
+    int dirPointers = 4;
     bool retryTimeouts = false;
     bool resume = false;
     bool profile = false;
@@ -208,6 +232,20 @@ parseArgs(int argc, char **argv)
                               : 0;
         else if (!std::strcmp(arg, "--retry"))
             a.retry = (v = value(i, arg)) ? std::atoi(v) : 0;
+        else if (!std::strcmp(arg, "--cores"))
+            a.cores = (v = value(i, arg)) ? std::atoi(v) : 0;
+        else if (!std::strcmp(arg, "--threads-per-core"))
+            a.threadsPerCore = (v = value(i, arg)) ? std::atoi(v) : 0;
+        else if (!std::strcmp(arg, "--dir-mode"))
+            a.dirMode = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--dir-sets"))
+            a.dirSets = (v = value(i, arg))
+                            ? std::strtoull(v, nullptr, 10)
+                            : 0;
+        else if (!std::strcmp(arg, "--dir-assoc"))
+            a.dirAssoc = (v = value(i, arg)) ? std::atoi(v) : 0;
+        else if (!std::strcmp(arg, "--dir-pointers"))
+            a.dirPointers = (v = value(i, arg)) ? std::atoi(v) : 0;
         else if (!std::strcmp(arg, "--retry-timeouts"))
             a.retryTimeouts = true;
         else if (!std::strcmp(arg, "--fault-plan"))
@@ -245,6 +283,39 @@ parseArgs(int argc, char **argv)
     if (a.ok && a.retry < 1) {
         std::fprintf(stderr,
                      "cactid-study: --retry needs a value >= 1\n");
+        a.ok = false;
+    }
+    if (a.ok && a.dirMode != "auto" && a.dirMode != "snoop" &&
+        a.dirMode != "broadcast" && a.dirMode != "sparse") {
+        std::fprintf(stderr,
+                     "cactid-study: --dir-mode must be auto, snoop, "
+                     "broadcast or sparse (got %s)\n",
+                     a.dirMode.c_str());
+        a.ok = false;
+    }
+    if (a.ok && a.cores < 0) {
+        std::fprintf(stderr,
+                     "cactid-study: --cores needs a value >= 1\n");
+        a.ok = false;
+    }
+    if (a.ok && a.dirSets != 0 && (a.dirSets & (a.dirSets - 1)) != 0) {
+        std::fprintf(stderr,
+                     "cactid-study: --dir-sets must be a power of two "
+                     "(got %zu)\n",
+                     a.dirSets);
+        a.ok = false;
+    }
+    if (a.ok && (a.dirAssoc < 1 || a.dirPointers < 1)) {
+        std::fprintf(stderr,
+                     "cactid-study: --dir-assoc and --dir-pointers "
+                     "need values >= 1\n");
+        a.ok = false;
+    }
+    if (a.ok && a.dirMode == "snoop" && a.cores > 16) {
+        std::fprintf(stderr,
+                     "cactid-study: --dir-mode snoop tracks at most "
+                     "16 cores (--cores %d); use sparse\n",
+                     a.cores);
         a.ok = false;
     }
     return a;
@@ -356,6 +427,17 @@ main(int argc, char **argv)
         opts.traceCapacity = args.traceCapacity;
         opts.maxCycles = args.maxCycles;
         opts.maxWallMs = args.maxWallMs;
+        opts.nCores = args.cores;
+        opts.threadsPerCore = args.threadsPerCore;
+        if (args.dirMode == "snoop")
+            opts.dirMode = DirectoryMode::Snoop;
+        else if (args.dirMode == "broadcast")
+            opts.dirMode = DirectoryMode::Broadcast;
+        else if (args.dirMode == "sparse")
+            opts.dirMode = DirectoryMode::Sparse;
+        opts.dir.sets = args.dirSets;
+        opts.dir.assoc = args.dirAssoc;
+        opts.dir.pointers = args.dirPointers;
         opts.retry.maxAttempts = args.retry;
         opts.retry.retryTimeouts = args.retryTimeouts;
         if (!args.faultPlanSpec.empty())
