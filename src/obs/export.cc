@@ -6,6 +6,7 @@
 #include "obs/export.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -118,6 +119,7 @@ writeProfileSummary(std::ostream &os,
         std::uint64_t count = 0;
         std::uint64_t total = 0;
         std::uint64_t max = 0;
+        std::vector<std::uint64_t> durs;
     };
     std::map<std::string, Agg> by_name;
     for (const TraceEvent &e : events) {
@@ -127,6 +129,7 @@ writeProfileSummary(std::ostream &os,
         ++a.count;
         a.total += e.dur;
         a.max = std::max(a.max, e.dur);
+        a.durs.push_back(e.dur);
     }
 
     std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
@@ -136,18 +139,34 @@ writeProfileSummary(std::ostream &os,
                          return a.second.total > b.second.total;
                      });
 
-    char line[160];
-    std::snprintf(line, sizeof(line), "%-32s %8s %12s %12s %12s\n",
-                  "span", "count", "total(ms)", "mean(us)", "max(us)");
+    // Nearest-rank percentile over the sorted span durations.
+    const auto pct = [](const std::vector<std::uint64_t> &sorted,
+                        double q) -> unsigned long long {
+        if (sorted.empty())
+            return 0;
+        std::size_t rank = static_cast<std::size_t>(
+            std::ceil(q * double(sorted.size())));
+        rank = std::max<std::size_t>(1,
+                                     std::min(rank, sorted.size()));
+        return static_cast<unsigned long long>(sorted[rank - 1]);
+    };
+
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "%-32s %8s %12s %12s %9s %9s %9s %12s\n", "span",
+                  "count", "total(ms)", "mean(us)", "p50(us)",
+                  "p90(us)", "p99(us)", "max(us)");
     os << line;
-    for (const auto &[name, a] : rows) {
-        std::snprintf(line, sizeof(line),
-                      "%-32s %8llu %12.3f %12.1f %12llu\n",
-                      name.c_str(),
-                      static_cast<unsigned long long>(a.count),
-                      double(a.total) / 1e3,
-                      a.count ? double(a.total) / double(a.count) : 0.0,
-                      static_cast<unsigned long long>(a.max));
+    for (auto &[name, a] : rows) {
+        std::sort(a.durs.begin(), a.durs.end());
+        std::snprintf(
+            line, sizeof(line),
+            "%-32s %8llu %12.3f %12.1f %9llu %9llu %9llu %12llu\n",
+            name.c_str(), static_cast<unsigned long long>(a.count),
+            double(a.total) / 1e3,
+            a.count ? double(a.total) / double(a.count) : 0.0,
+            pct(a.durs, 0.50), pct(a.durs, 0.90), pct(a.durs, 0.99),
+            static_cast<unsigned long long>(a.max));
         os << line;
     }
 }

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * OpenMetrics text exposition implementation.
+ */
+
+#include "obs/openmetrics.hh"
+
+#include <map>
+#include <set>
+
+#include "obs/numfmt.hh"
+
+namespace cactid::obs {
+
+namespace {
+
+bool
+nameByte(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+}
+
+/** Label value body per the exposition format: escape \ " and \n. */
+std::string
+labelEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+runLabel(const std::string &label)
+{
+    if (label.empty())
+        return "";
+    return "{run=\"" + labelEscape(label) + "\"}";
+}
+
+std::string
+runLabelWith(const std::string &label, const std::string &extra)
+{
+    if (label.empty())
+        return "{" + extra + "}";
+    return "{run=\"" + labelEscape(label) + "\"," + extra + "}";
+}
+
+} // namespace
+
+std::string
+openMetricsName(const std::string &name)
+{
+    std::string out = "cactid_";
+    out.reserve(out.size() + name.size());
+    for (const char c : name)
+        out += nameByte(c) ? c : '_';
+    return out;
+}
+
+void
+writeOpenMetrics(
+    std::ostream &os,
+    const std::vector<std::pair<std::string, const Registry *>> &items)
+{
+    // Families must be emitted grouped (one # TYPE line each), so
+    // collect the union of names per kind first, then every labelled
+    // sample in item order under each family.
+    std::set<std::string> counter_names;
+    std::set<std::string> gauge_names;
+    std::set<std::string> histogram_names;
+    for (const auto &[label, reg] : items) {
+        for (const auto &[name, v] : reg->counters())
+            counter_names.insert(name);
+        for (const auto &[name, v] : reg->gauges())
+            gauge_names.insert(name);
+        for (const auto &[name, h] : reg->histograms())
+            histogram_names.insert(name);
+    }
+
+    for (const std::string &name : counter_names) {
+        const std::string om = openMetricsName(name);
+        os << "# TYPE " << om << " counter\n";
+        for (const auto &[label, reg] : items) {
+            const auto it = reg->counters().find(name);
+            if (it == reg->counters().end())
+                continue;
+            os << om << "_total" << runLabel(label) << " "
+               << it->second << "\n";
+        }
+    }
+
+    for (const std::string &name : gauge_names) {
+        const std::string om = openMetricsName(name);
+        os << "# TYPE " << om << " gauge\n";
+        for (const auto &[label, reg] : items) {
+            const auto it = reg->gauges().find(name);
+            if (it == reg->gauges().end())
+                continue;
+            os << om << runLabel(label) << " "
+               << fmtDouble(it->second) << "\n";
+        }
+    }
+
+    for (const std::string &name : histogram_names) {
+        const std::string om = openMetricsName(name);
+        os << "# TYPE " << om << " histogram\n";
+        for (const auto &[label, reg] : items) {
+            const auto it = reg->histograms().find(name);
+            if (it == reg->histograms().end())
+                continue;
+            const Histogram &h = it->second;
+            std::uint64_t cum = 0;
+            for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                cum += h.counts()[i];
+                os << om << "_bucket"
+                   << runLabelWith(label, "le=\"" +
+                                              fmtDouble(h.bounds()[i]) +
+                                              "\"")
+                   << " " << cum << "\n";
+            }
+            os << om << "_bucket"
+               << runLabelWith(label, "le=\"+Inf\"") << " " << h.total()
+               << "\n";
+            os << om << "_sum" << runLabel(label) << " "
+               << fmtDouble(h.sum()) << "\n";
+            os << om << "_count" << runLabel(label) << " " << h.total()
+               << "\n";
+        }
+    }
+
+    os << "# EOF\n";
+}
+
+} // namespace cactid::obs

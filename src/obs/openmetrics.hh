@@ -1,0 +1,48 @@
+/**
+ * @file
+ * OpenMetrics text exposition of metric registries.
+ *
+ * This is the scrape surface a future `cactid-serve` exposes: the same
+ * labelled registries that feed the "cactid-obs-v1" JSON dump, rendered
+ * in the OpenMetrics text format (the Prometheus exposition format plus
+ * a terminating "# EOF").  Counter names gain a `_total` suffix,
+ * histograms expand to `_bucket{le=...}` / `_sum` / `_count` series,
+ * and every dot in a registry metric name becomes an underscore under a
+ * `cactid_` prefix (`sim.dram.reads` -> `cactid_sim_dram_reads_total`).
+ *
+ * Each registry's label is attached as a `run="<label>"` label (omitted
+ * when the label is empty), and families are emitted grouped — one
+ * `# TYPE` line per family, then every labelled sample — in sorted name
+ * order, so equal registries always produce equal bytes.
+ */
+
+#ifndef CACTID_OBS_OPENMETRICS_HH
+#define CACTID_OBS_OPENMETRICS_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hh"
+
+namespace cactid::obs {
+
+/**
+ * OpenMetrics-safe metric name: dots and any other non-[a-zA-Z0-9_]
+ * byte become '_', prefixed with "cactid_".
+ */
+std::string openMetricsName(const std::string &name);
+
+/**
+ * Write the full exposition for @p items (label, registry) pairs,
+ * terminated by "# EOF".  Sample values use the shared locale-proof
+ * fmtDouble rendering, so the output is deterministic.
+ */
+void writeOpenMetrics(
+    std::ostream &os,
+    const std::vector<std::pair<std::string, const Registry *>> &items);
+
+} // namespace cactid::obs
+
+#endif // CACTID_OBS_OPENMETRICS_HH

@@ -6,6 +6,8 @@
 #include "obs/registry.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 #include "obs/build_info.hh"
 #include "obs/numfmt.hh"
@@ -25,6 +27,110 @@ Histogram::observe(double v)
     ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
     ++total_;
     sum_ += v;
+}
+
+namespace {
+
+std::string
+describeBounds(const std::vector<double> &b)
+{
+    if (b.empty())
+        return "[] (single +inf bucket)";
+    std::string s = "[" + fmtDouble(b.front());
+    if (b.size() > 1)
+        s += " .. " + fmtDouble(b.back());
+    return s + "] (" + std::to_string(b.size()) + " bounds)";
+}
+
+} // namespace
+
+Histogram
+Histogram::fromParts(std::vector<double> bounds,
+                     std::vector<std::uint64_t> counts,
+                     std::uint64_t total, double sum)
+{
+    if (counts.size() != bounds.size() + 1) {
+        throw std::invalid_argument(
+            "histogram fromParts: " + std::to_string(counts.size()) +
+            " counts for " + std::to_string(bounds.size()) +
+            " bounds (want bounds + 1)");
+    }
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : counts)
+        n += c;
+    if (n != total) {
+        throw std::invalid_argument(
+            "histogram fromParts: counts sum to " + std::to_string(n) +
+            " but total is " + std::to_string(total));
+    }
+    Histogram h(std::move(bounds));
+    h.counts_ = std::move(counts);
+    h.total_ = total;
+    h.sum_ = sum;
+    return h;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (bounds_ != other.bounds_) {
+        throw std::invalid_argument(
+            "histogram merge: mismatched bucket bounds: " +
+            describeBounds(bounds_) + " vs " +
+            describeBounds(other.bounds_));
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(total_))));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        cum += counts_[i];
+        if (cum >= rank)
+            return bounds_[i];
+    }
+    // Overflow bucket: saturate at the largest finite bound.
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void
+Registry::merge(const Registry &other)
+{
+    // Pre-check every shared histogram so a mismatch leaves this
+    // registry untouched.
+    for (const auto &[name, h] : other.histograms_) {
+        const auto it = histograms_.find(name);
+        if (it != histograms_.end() &&
+            it->second.bounds() != h.bounds()) {
+            throw std::invalid_argument(
+                "registry merge: histogram '" + name +
+                "': mismatched bucket bounds (" +
+                std::to_string(it->second.bounds().size()) + " vs " +
+                std::to_string(h.bounds().size()) + " bounds)");
+        }
+    }
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+    for (const auto &[name, value] : other.gauges_)
+        gauges_[name] += value;
+    for (const auto &[name, h] : other.histograms_) {
+        const auto it = histograms_.find(name);
+        if (it == histograms_.end())
+            histograms_.emplace(name, h);
+        else
+            it->second.merge(h);
+    }
 }
 
 std::uint64_t &

@@ -30,11 +30,43 @@ namespace cactid::obs {
 /** Fixed-bound histogram: counts[i] holds values <= bounds[i]. */
 class Histogram {
 public:
-    Histogram() = default;
+    /** No finite bounds: a single +inf bucket counting everything. */
+    Histogram() : counts_(1, 0) {}
     explicit Histogram(std::vector<double> bounds);
+
+    /**
+     * Reconstruct a histogram from dumped parts (the report/merge
+     * tooling reading a "cactid-obs-v1" document back).  @p counts
+     * must have bounds.size() + 1 entries and sum to @p total;
+     * anything else throws std::invalid_argument.
+     */
+    static Histogram fromParts(std::vector<double> bounds,
+                               std::vector<std::uint64_t> counts,
+                               std::uint64_t total, double sum);
 
     /** Record one value (overflow lands in the implicit +inf bucket). */
     void observe(double v);
+
+    /**
+     * Fold @p other into this histogram.  Both must have byte-equal
+     * bucket bounds; a mismatch throws std::invalid_argument naming
+     * both shapes.  Merging shard histograms and recording the same
+     * observations into one histogram produce identical counts and
+     * totals (sums are added pairwise, so they are bit-identical
+     * whenever the additions are exact, e.g. integral cycle counts).
+     */
+    void merge(const Histogram &other);
+
+    /**
+     * Quantile @p q in [0, 1] by nearest rank over the bucket upper
+     * bounds: the smallest bound whose cumulative count reaches
+     * ceil(q * total).  Returns 0 on an empty histogram and saturates
+     * at the largest finite bound when the rank lands in the +inf
+     * overflow bucket (0 when there are no finite bounds).  A pure
+     * function of the (integer) counts — deterministic and
+     * merge-stable.
+     */
+    double quantile(double q) const;
 
     const std::vector<double> &bounds() const { return bounds_; }
     /** bounds().size() + 1 buckets; the last is the overflow bucket. */
@@ -77,6 +109,17 @@ public:
     {
         return histograms_;
     }
+
+    /**
+     * Fold @p other into this registry: counters and gauges add
+     * (shard metrics follow the additive convention — publish rates
+     * as counters, not pre-divided gauges), histograms merge
+     * bucket-wise.  A histogram present in both registries with
+     * different bounds throws std::invalid_argument naming the
+     * metric; this registry is unchanged when that happens (the
+     * bounds of every shared histogram are checked up front).
+     */
+    void merge(const Registry &other);
 
     /**
      * This registry as a JSON object (sorted keys, fmtDouble doubles;

@@ -20,6 +20,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/latency.hh"
+
 namespace archsim {
 
 namespace {
@@ -449,6 +451,46 @@ CacheHierarchy::snoopFilterConsistent() const
     return dir_count == array_lines;
 }
 
+void
+CacheHierarchy::setLatency(LatencyStats *lat)
+{
+    lat_ = lat;
+    mem_.setLatency(lat);
+    if (llc_)
+        llc_->setLatency(lat);
+}
+
+namespace {
+
+/** Record one demand access into the serving level's histogram. */
+void
+observeServed(LatencyStats *lat, ServedBy s, Cycle cycles)
+{
+    if (!lat)
+        return;
+    cactid::obs::Histogram *h = nullptr;
+    switch (s) {
+      case ServedBy::L1:
+        h = &lat->l1;
+        break;
+      case ServedBy::L2:
+        h = &lat->l2;
+        break;
+      case ServedBy::RemoteL2:
+        h = &lat->remoteL2;
+        break;
+      case ServedBy::L3:
+        h = &lat->l3;
+        break;
+      case ServedBy::Memory:
+        h = &lat->mem;
+        break;
+    }
+    h->observe(double(cycles));
+}
+
+} // namespace
+
 CacheHierarchy::Result
 CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
                        Cycle now)
@@ -466,6 +508,7 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
                 l->setState(CState::Modified);
             r.latency = p_.l1Cycles;
             r.servedBy = ServedBy::L1;
+            observeServed(lat_, r.servedBy, r.latency);
             return r;
         }
         // Store to a Shared line: upgrade through the L2.
@@ -487,6 +530,7 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
                    write ? CState::Modified : l->state());
             r.latency = p_.l1Cycles + p_.l2Cycles;
             r.servedBy = ServedBy::L2;
+            observeServed(lat_, r.servedBy, r.latency);
             return r;
         }
         // Write upgrade: invalidate the other sharers (crossbar round).
@@ -521,6 +565,7 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
         fillL1(l1, core, line, CState::Modified);
         r.latency = p_.l1Cycles + p_.l2Cycles + 2 * p_.xbarCycles;
         r.servedBy = ServedBy::L2;
+        observeServed(lat_, r.servedBy, r.latency);
         return r;
     }
 
@@ -531,6 +576,7 @@ CacheHierarchy::access(int core, Addr addr, bool write, bool ifetch,
     fillL1(l1, core, line, write ? CState::Modified : CState::Shared);
     r.latency = p_.l1Cycles + p_.l2Cycles + beyond;
     r.servedBy = served;
+    observeServed(lat_, r.servedBy, r.latency);
     // Start/complete record of every request that left the private
     // levels (L1/L2 hits are too hot to trace individually).
     OBS_EVENT(trace_, .name = servedName(served), .cat = "mem",

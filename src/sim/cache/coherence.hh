@@ -163,6 +163,13 @@ class CacheHierarchy
         mem_.setTrace(trace);
     }
 
+    /**
+     * Attach a latency recorder: demand-access latency by serving
+     * level here, queueing detail in the Llc and MemorySystem it is
+     * forwarded to.  nullptr detaches.
+     */
+    void setLatency(LatencyStats *lat);
+
   private:
     /** Fetch a line into the shared levels; returns added latency. */
     Cycle fetchFromBeyondL2(int core, Addr line, bool write, Cycle now,
@@ -195,6 +202,7 @@ class CacheHierarchy
     MemorySystem mem_;
     HierCounters counters_;
     obs::TraceBuffer *trace_ = nullptr;
+    LatencyStats *lat_ = nullptr;
     bool implicitSparse_ = false;
     std::vector<int> snoopScratch_; ///< snoopSet() reuse (no hot allocs)
 };

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "sim/latency.hh"
+
 namespace archsim {
 
 Llc::Llc(const LlcParams &p)
@@ -90,6 +92,8 @@ Llc::lookup(Addr addr, bool write, Cycle now)
 {
     Access a;
     const Cycle wait = reserve(addr, now);
+    if (lat_)
+        lat_->llcQueue.observe(double(wait));
     a.latency = wait + (p_.pageMode ? pageAccess(addr)
                                     : p_.accessCycles);
     write ? ++writes : ++reads;

@@ -21,6 +21,8 @@
 
 namespace archsim {
 
+struct LatencyStats;
+
 /** How cache sets map onto DRAM pages (paper Figure 3). */
 enum class SetMapping : std::uint8_t {
     SetPerPage,   ///< (a) a cache set (all its ways) maps to one page
@@ -81,6 +83,12 @@ class Llc
     /** Bank index of an address. */
     int bank(Addr addr) const;
 
+    /**
+     * Attach a latency recorder (bank/subbank queueing waits on the
+     * demand lookup path).  nullptr detaches.
+     */
+    void setLatency(LatencyStats *lat) { lat_ = lat; }
+
     // --- Access counters for the power model.
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
@@ -101,6 +109,7 @@ class Llc
 
     LlcParams p_;
     SetAssocCache array_;
+    LatencyStats *lat_ = nullptr;
     std::vector<Cycle> bankFree_;
     std::vector<Cycle> subbankFree_;
     std::vector<std::int64_t> openPage_; ///< per (bank, subbank)

@@ -186,6 +186,18 @@ class System
         sync_->setTrace(trace);
     }
 
+    /**
+     * Attach a latency recorder before run(): demand-access latencies
+     * by serving level plus LLC/DRAM queueing detail, in simulated
+     * cycles.  Like the trace, a pure function of the simulation —
+     * byte-identical for any --jobs.
+     */
+    void
+    setLatency(LatencyStats *lat)
+    {
+        hier_.setLatency(lat);
+    }
+
   private:
     /** Sum of retired instructions over all threads. */
     std::uint64_t totalInstructions() const;

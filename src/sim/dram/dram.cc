@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "sim/latency.hh"
+
 namespace archsim {
 
 MemorySystem::MemorySystem(const DramParams &p) : p_(p)
@@ -87,6 +89,7 @@ MemorySystem::access(Addr addr, bool write, Cycle now)
 
     const bool row_hit =
         p_.policy == PagePolicy::Open && bank.openRow == row;
+    bool precharged = false;
     if (row_hit) {
         ++counters_.rowHits;
         t = std::max(t, bank.readyAt);
@@ -96,6 +99,7 @@ MemorySystem::access(Addr addr, bool write, Cycle now)
         // the rank.
         Cycle act = std::max(t, bank.readyAt);
         if (p_.policy == PagePolicy::Open && bank.openRow >= 0) {
+            precharged = true;
             OBS_EVENT(trace_, .name = "dram.pre", .cat = "dram",
                       .ph = 'X', .ts = act, .dur = p_.tRp,
                       .tid = std::uint32_t(ch_idx), .argName = "row",
@@ -138,6 +142,21 @@ MemorySystem::access(Addr addr, bool write, Cycle now)
     write ? ++counters_.writes : ++counters_.reads;
     counters_.busBytes += p_.lineBytes;
     ch.lastUse = done;
+    if (lat_) {
+        const Cycle total = done - now;
+        // Unloaded command latency of this access's path; everything
+        // above it is waiting (bank busy, tRRD/tRC, bus contention,
+        // refresh occupancy).
+        Cycle unloaded = p_.tController + wake + p_.tCas + p_.tBurst;
+        if (!row_hit) {
+            unloaded += p_.tRcd;
+            if (precharged)
+                unloaded += p_.tRp;
+        }
+        (row_hit ? lat_->dramRowHit : lat_->dramRowMiss)
+            .observe(double(total));
+        lat_->dramQueue.observe(double(total - unloaded));
+    }
     return done - now;
 }
 

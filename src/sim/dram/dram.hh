@@ -16,6 +16,8 @@
 
 namespace archsim {
 
+struct LatencyStats;
+
 /** Page management policy (paper section 2.3.4). */
 enum class PagePolicy : std::uint8_t { Open, Closed };
 
@@ -119,6 +121,12 @@ class MemorySystem
     /** Attach a command trace ring (simulated-cycle clock domain). */
     void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
 
+    /**
+     * Attach a latency recorder (row-hit/row-miss split of the total
+     * access latency, plus the queueing component).  nullptr detaches.
+     */
+    void setLatency(LatencyStats *lat) { lat_ = lat; }
+
   private:
     struct Bank {
         Cycle readyAt = 0;      ///< earliest next ACTIVATE completion base
@@ -146,6 +154,7 @@ class MemorySystem
     DramCounters counters_;
     bool eventDriven_ = false;
     obs::TraceBuffer *trace_ = nullptr;
+    LatencyStats *lat_ = nullptr;
 };
 
 } // namespace archsim

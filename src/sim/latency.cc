@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Latency-distribution bounds and construction.
+ */
+
+#include "sim/latency.hh"
+
+namespace archsim {
+
+const std::vector<double> &
+latencyBounds()
+{
+    static const std::vector<double> bounds = [] {
+        std::vector<double> b;
+        for (double v = 1.0; v <= double(1u << 20); v *= 2.0)
+            b.push_back(v);
+        return b;
+    }();
+    return bounds;
+}
+
+LatencyStats::LatencyStats()
+    : l1(latencyBounds()), l2(latencyBounds()),
+      remoteL2(latencyBounds()), l3(latencyBounds()),
+      mem(latencyBounds()), dramRowHit(latencyBounds()),
+      dramRowMiss(latencyBounds()), dramQueue(latencyBounds()),
+      llcQueue(latencyBounds())
+{
+}
+
+} // namespace archsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-level access-latency and queueing-delay distributions.
+ *
+ * A LatencyStats is attached to a System the same way a TraceBuffer
+ * is (System::setLatency -> CacheHierarchy -> Llc / MemorySystem;
+ * nullptr detaches, and a detached run records nothing so the pinned
+ * goldens are untouched).  Every observation is in simulated cycles,
+ * recorded by the single thread that owns the run — the histograms
+ * are a pure function of the simulated machine, byte-identical for
+ * any `--jobs`, and golden-gateable like every other sim counter.
+ *
+ * Levels follow ServedBy (full demand-access latency as seen by the
+ * core, attributed to the level that serviced it), plus the two
+ * queueing views the mean can't show: the LLC bank/subbank wait and
+ * the DRAM queue (total minus the unloaded command latency), and the
+ * row-hit vs row-miss split of total DRAM latency.
+ */
+
+#ifndef ARCHSIM_LATENCY_HH
+#define ARCHSIM_LATENCY_HH
+
+#include <vector>
+
+#include "obs/registry.hh"
+#include "sim/common.hh"
+
+namespace archsim {
+
+/**
+ * Log-bucketed bounds shared by every latency histogram: powers of
+ * two from 1 to 2^20 simulated cycles (anything slower lands in the
+ * +inf overflow bucket).  One shared shape keeps shard merges valid
+ * by construction.
+ */
+const std::vector<double> &latencyBounds();
+
+/** The per-run latency distribution set (all in simulated cycles). */
+struct LatencyStats {
+    LatencyStats();
+
+    // --- Full demand-access latency by serving level (ServedBy).
+    cactid::obs::Histogram l1;
+    cactid::obs::Histogram l2;
+    cactid::obs::Histogram remoteL2;
+    cactid::obs::Histogram l3;
+    cactid::obs::Histogram mem;
+
+    // --- DRAM detail: total latency split by row outcome, plus the
+    // queueing component (total minus unloaded command latency).
+    cactid::obs::Histogram dramRowHit;
+    cactid::obs::Histogram dramRowMiss;
+    cactid::obs::Histogram dramQueue;
+
+    // --- LLC bank/subbank occupancy wait before the array access.
+    cactid::obs::Histogram llcQueue;
+};
+
+} // namespace archsim
+
+#endif // ARCHSIM_LATENCY_HH

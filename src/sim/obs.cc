@@ -53,6 +53,24 @@ registerSimStats(cactid::obs::Registry &r, const SimStats &s)
 }
 
 void
+registerLatencyStats(cactid::obs::Registry &r, const LatencyStats &lat)
+{
+    const auto put = [&r](const char *name,
+                          const cactid::obs::Histogram &h) {
+        r.histogram(name, latencyBounds()).merge(h);
+    };
+    put("sim.lat.l1", lat.l1);
+    put("sim.lat.l2", lat.l2);
+    put("sim.lat.remote_l2", lat.remoteL2);
+    put("sim.lat.l3", lat.l3);
+    put("sim.lat.mem", lat.mem);
+    put("sim.lat.dram.row_hit", lat.dramRowHit);
+    put("sim.lat.dram.row_miss", lat.dramRowMiss);
+    put("sim.lat.dram.queue", lat.dramQueue);
+    put("sim.lat.llc.queue", lat.llcQueue);
+}
+
+void
 registerActivityCounts(cactid::obs::Registry &r, const ActivityCounts &a)
 {
     r.counter("activity.cycles") = a.cycles;

@@ -12,6 +12,7 @@
 
 #include "obs/registry.hh"
 #include "sim/cpu/system.hh"
+#include "sim/latency.hh"
 #include "sim/power/power.hh"
 #include "sim/resilience.hh"
 
@@ -19,6 +20,14 @@ namespace archsim {
 
 /** sim.* counters and gauges from one run's aggregate statistics. */
 void registerSimStats(cactid::obs::Registry &r, const SimStats &s);
+
+/**
+ * sim.lat.* histograms from one run's latency distributions (merged
+ * into the registry's histograms, so per-run registries get copies
+ * and a sweep registry accumulates across runs).
+ */
+void registerLatencyStats(cactid::obs::Registry &r,
+                          const LatencyStats &lat);
 
 /** activity.* counters from one interval's raw activity. */
 void registerActivityCounts(cactid::obs::Registry &r,

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -15,8 +17,10 @@
 #include "obs/build_info.hh"
 #include "obs/export.hh"
 #include "obs/numfmt.hh"
+#include "obs/openmetrics.hh"
 #include "obs/registry.hh"
 #include "sim/obs.hh"
+#include "sim/telemetry.hh"
 
 namespace archsim {
 
@@ -114,6 +118,11 @@ StudyRunner::execute(const std::string &config,
     obs::TraceBuffer trace(opts_.trace ? opts_.traceCapacity : 0);
     if (opts_.trace)
         sys.setTrace(&trace);
+    // Latency histograms, like the trace, observe simulated cycles
+    // from this run's single thread — jobs-independent by nature.
+    LatencyStats lat;
+    if (opts_.latencyHistograms)
+        sys.setLatency(&lat);
     const SimMode mode =
         opts_.exactEvents ? SimMode::Exact : SimMode::Golden;
 
@@ -138,6 +147,10 @@ StudyRunner::execute(const std::string &config,
     if (opts_.trace) {
         r.traceDropped = trace.dropped(); // take() resets the count
         r.trace = trace.take();
+    }
+    if (opts_.latencyHistograms) {
+        r.lat = std::move(lat);
+        r.latEnabled = true;
     }
     r.stats.config = config;
 
@@ -297,6 +310,15 @@ StudyRunner::runAll() const
         std::min<std::size_t>(resolveJobs(opts_.jobs),
                               std::max<std::size_t>(tasks.size(), 1)));
 
+    // The heartbeat writer (off unless a telemetry path is set); its
+    // hooks are thread-safe and its wall-clock output is segregated
+    // from the deterministic fields (sim/telemetry.hh).
+    std::unique_ptr<SweepTelemetry> telem;
+    if (!opts_.telemetry.path.empty()) {
+        telem = std::make_unique<SweepTelemetry>(opts_.telemetry,
+                                                 tasks.size());
+    }
+
     // Per-run failures never leave this lambda: executeGuarded folds
     // them into the slot, so a bad point costs one slot, not the
     // sweep.  Only the caller-supplied hooks can still throw; those
@@ -304,12 +326,19 @@ StudyRunner::runAll() const
     auto runTask = [&](std::size_t i) {
         const std::string &c = *tasks[i].config;
         const WorkloadParams &w = *tasks[i].workload;
+        if (telem)
+            telem->runStarted(i, c, w.name);
+        const HostUsageTimer timer;
         RunResult reused;
         if (opts_.reuseRun && opts_.reuseRun(i, c, w.name, reused)) {
             results[i] = std::move(reused);
+            if (telem)
+                telem->runFinished(i, results[i], timer.stop());
             return;
         }
         results[i] = executeGuarded(i, c, w);
+        if (telem)
+            telem->runFinished(i, results[i], timer.stop());
         if (opts_.onRunComplete)
             opts_.onRunComplete(i, results[i]);
     };
@@ -317,6 +346,8 @@ StudyRunner::runAll() const
     if (jobs <= 1) {
         for (std::size_t i = 0; i < tasks.size(); ++i)
             runTask(i);
+        if (telem)
+            telem->finish();
         return results;
     }
 
@@ -344,6 +375,8 @@ StudyRunner::runAll() const
         pool.emplace_back(worker);
     for (std::thread &t : pool)
         t.join();
+    if (telem)
+        telem->finish(); // summary written even when a hook failed
     if (first_error)
         std::rethrow_exception(first_error);
     return results;
@@ -436,6 +469,32 @@ exportJson(std::ostream &os, const std::vector<RunResult> &runs,
            << ", \"top_die_k\": " << num(r.thermal.maxTempTopDie)
            << ", \"bottom_die_k\": " << num(r.thermal.maxTempBottomDie)
            << "}";
+        if (r.latEnabled) {
+            // Optional (only under --latency-histograms, so the v1
+            // bytes of plain sweeps are untouched): nearest-rank
+            // percentiles of the per-level distributions, in
+            // simulated cycles.
+            const auto q = [&os](const char *key,
+                                 const cactid::obs::Histogram &h,
+                                 bool first) {
+                os << (first ? "" : ", ") << "\"" << key
+                   << "\": {\"p50\": " << num(h.quantile(0.50))
+                   << ", \"p90\": " << num(h.quantile(0.90))
+                   << ", \"p99\": " << num(h.quantile(0.99))
+                   << ", \"count\": " << h.total() << "}";
+            };
+            os << ",\n     \"latency\": {";
+            q("l1", r.lat.l1, true);
+            q("l2", r.lat.l2, false);
+            q("remote_l2", r.lat.remoteL2, false);
+            q("l3", r.lat.l3, false);
+            q("mem", r.lat.mem, false);
+            q("dram_row_hit", r.lat.dramRowHit, false);
+            q("dram_row_miss", r.lat.dramRowMiss, false);
+            q("dram_queue", r.lat.dramQueue, false);
+            q("llc_queue", r.lat.llcQueue, false);
+            os << "}";
+        }
         os << ",\n     \"epochs\": [";
         for (std::size_t e = 0; e < r.epochs.size(); ++e) {
             const EpochSample &ep = r.epochs[e];
@@ -493,23 +552,49 @@ exportTraceJson(std::ostream &os, const std::vector<RunResult> &runs,
         }
     }
     meta.clockDomain = "cycles";
+    if (meta.dropped > 0) {
+        // Once per process: a bounded ring silently losing events is
+        // exactly the kind of thing a reader of the export would
+        // otherwise miss (it is recorded in the header, but nobody
+        // reads headers until the data looks wrong).
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            std::fprintf(stderr,
+                         "warning: trace ring dropped %llu events; "
+                         "raise --trace-capacity for a complete "
+                         "stream\n",
+                         static_cast<unsigned long long>(meta.dropped));
+        }
+    }
     cactid::obs::canonicalizeTrace(events);
     cactid::obs::writeChromeTrace(os, events, meta);
 }
 
+namespace {
+
+/**
+ * The shared registry set behind exportRegistry and
+ * exportOpenMetrics: one registry per run (sim.* + power.*, run
+ * status under v2, sim.lat.* when recorded, obs.trace.dropped when
+ * the ring lost events) plus the v2 sweep-failure registry.
+ */
 void
-exportRegistry(std::ostream &os, const std::vector<RunResult> &runs,
-               const StudyRunner &runner)
-{
-    (void)runner;
-    const bool v2 = sweepNeedsV2(runs);
-    std::vector<cactid::obs::Registry> regs(runs.size() + 1);
+buildRunRegistries(
+    const std::vector<RunResult> &runs,
+    std::vector<cactid::obs::Registry> &regs,
     std::vector<std::pair<std::string, const cactid::obs::Registry *>>
-        items;
+        &items)
+{
+    const bool v2 = sweepNeedsV2(runs);
+    regs.resize(runs.size() + 1);
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const RunResult &r = runs[i];
         registerSimStats(regs[i], r.stats);
         registerPowerBreakdown(regs[i], r.power);
+        if (r.latEnabled)
+            registerLatencyStats(regs[i], r.lat);
+        if (r.traceDropped > 0)
+            regs[i].counter("obs.trace.dropped") = r.traceDropped;
         if (v2)
             registerRunStatus(regs[i], r.status, r.attempts);
         items.emplace_back(r.workload + "/" + r.config, &regs[i]);
@@ -544,7 +629,32 @@ exportRegistry(std::ostream &os, const std::vector<RunResult> &runs,
         sweep.counter("runner.retries") = retries;
         items.emplace_back("sweep", &sweep);
     }
+}
+
+} // namespace
+
+void
+exportRegistry(std::ostream &os, const std::vector<RunResult> &runs,
+               const StudyRunner &runner)
+{
+    (void)runner;
+    std::vector<cactid::obs::Registry> regs;
+    std::vector<std::pair<std::string, const cactid::obs::Registry *>>
+        items;
+    buildRunRegistries(runs, regs, items);
     cactid::obs::writeRegistryDump(os, items);
+}
+
+void
+exportOpenMetrics(std::ostream &os, const std::vector<RunResult> &runs,
+                  const StudyRunner &runner)
+{
+    (void)runner;
+    std::vector<cactid::obs::Registry> regs;
+    std::vector<std::pair<std::string, const cactid::obs::Registry *>>
+        items;
+    buildRunRegistries(runs, regs, items);
+    cactid::obs::writeOpenMetrics(os, items);
 }
 
 void

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/latency.hh"
 #include "sim/metrics.hh"
 #include "sim/power/power.hh"
 #include "sim/resilience.hh"
@@ -34,6 +35,28 @@
 #include "sim/thermal/thermal.hh"
 
 namespace archsim {
+
+/**
+ * Live sweep heartbeat (sim/telemetry.hh).  An empty path disables
+ * telemetry entirely; with a path, the runner appends a JSONL
+ * snapshot ("cactid-telemetry-v1") to it — atomically rewritten, so
+ * a reader never sees a torn record.  Every simulated-domain field
+ * in the stream is byte-identical for any `jobs`; wall-clock and
+ * scheduling-dependent fields live under each record's "host" object.
+ */
+struct TelemetryOptions {
+    std::string path;
+
+    /** Heartbeat period in wall milliseconds (minimum 1). */
+    std::uint64_t intervalMs = 1000;
+
+    /**
+     * Called (once) when a snapshot write fails, with the error
+     * message, from whichever thread hit it.  Telemetry stops
+     * writing after the first failure; the sweep itself continues.
+     */
+    std::function<void(const std::string &)> onError;
+};
 
 /** Knobs controlling how a sweep executes (not what it simulates). */
 struct RunnerOptions {
@@ -87,6 +110,17 @@ struct RunnerOptions {
 
     /** Per-run ring capacity in events; oldest events are dropped. */
     std::size_t traceCapacity = 1 << 14;
+
+    /**
+     * Record per-level access-latency and queueing-delay histograms
+     * (sim/latency.hh) for every run.  Like the trace, simulated-cycle
+     * observations from a single-threaded run: byte-identical for any
+     * `jobs`, and absent (so the goldens are untouched) when off.
+     */
+    bool latencyHistograms = false;
+
+    /** Live sweep heartbeat; off unless telemetry.path is set. */
+    TelemetryOptions telemetry;
 
     /** Subset of configurations to run; empty = all six. */
     std::vector<std::string> configs;
@@ -162,6 +196,10 @@ struct RunResult {
     /** Event stream (simulated-cycle clock) when tracing was on. */
     std::vector<obs::TraceEvent> trace;
     std::size_t traceDropped = 0; ///< events lost to the ring bound
+
+    /** Latency distributions; populated when latencyHistograms. */
+    LatencyStats lat;
+    bool latEnabled = false;
 
     bool ok() const { return status == RunStatus::Ok; }
 };
@@ -298,6 +336,16 @@ void exportTraceJson(std::ostream &os,
 void exportRegistry(std::ostream &os,
                     const std::vector<RunResult> &runs,
                     const StudyRunner &runner);
+
+/**
+ * The same registries as exportRegistry in the OpenMetrics text
+ * exposition (obs/openmetrics.hh) — the scrape surface a metrics
+ * collector or the future cactid-serve consumes.  Each run's series
+ * carry a run="workload/config" label.
+ */
+void exportOpenMetrics(std::ostream &os,
+                       const std::vector<RunResult> &runs,
+                       const StudyRunner &runner);
 
 } // namespace archsim
 

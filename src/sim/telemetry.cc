@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Sweep telemetry implementation.
+ */
+
+#include "sim/telemetry.hh"
+
+#include <chrono>
+
+#include "obs/numfmt.hh"
+#include "util/atomic_file.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <time.h>
+#endif
+
+namespace archsim {
+
+namespace {
+
+std::uint64_t
+steadyNowUs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+threadCpuUs()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+        return std::uint64_t(ts.tv_sec) * 1000000u +
+               std::uint64_t(ts.tv_nsec) / 1000u;
+    }
+#endif
+    return 0;
+}
+
+std::string
+jstr(const std::string &s)
+{
+    return "\"" + cactid::obs::jsonEscape(s) + "\"";
+}
+
+/**
+ * The deterministic per-run counter set carried by run records (and
+ * accumulated into heartbeat/summary "counters"): the key sim.*
+ * totals a sweep-watcher needs for progress and sanity.
+ */
+std::map<std::string, std::uint64_t>
+runCounters(const RunResult &r)
+{
+    const SimStats &s = r.stats;
+    return {
+        {"sim.cycles", s.cycles},
+        {"sim.instructions", s.instructions},
+        {"sim.l2.demand_misses", s.hier.l2Misses},
+        {"sim.llc.misses", s.llcMisses},
+        {"sim.dram.activates", s.dram.activates},
+        {"sim.dram.reads", s.dram.reads},
+        {"sim.dram.writes", s.dram.writes},
+    };
+}
+
+std::string
+countersJson(const std::map<std::string, std::uint64_t> &counters)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        out += (first ? "" : ", ");
+        out += jstr(name) + ": " + std::to_string(value);
+        first = false;
+    }
+    return out + "}";
+}
+
+} // namespace
+
+std::uint64_t
+processPeakRssKb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+        return std::uint64_t(ru.ru_maxrss) / 1024u; // bytes there
+#else
+        return std::uint64_t(ru.ru_maxrss); // KiB on Linux
+#endif
+    }
+#endif
+    return 0;
+}
+
+HostUsageTimer::HostUsageTimer()
+    : wallStartUs_(steadyNowUs()), cpuStartUs_(threadCpuUs())
+{
+}
+
+HostUsage
+HostUsageTimer::stop() const
+{
+    HostUsage u;
+    u.wallMs = (steadyNowUs() - wallStartUs_) / 1000u;
+    const std::uint64_t cpu = threadCpuUs();
+    u.cpuMs = cpu >= cpuStartUs_ ? (cpu - cpuStartUs_) / 1000u : 0;
+    u.peakRssKb = processPeakRssKb();
+    return u;
+}
+
+SweepTelemetry::SweepTelemetry(const TelemetryOptions &opts,
+                               std::size_t totalRuns)
+    : opts_(opts), total_(totalRuns), startUs_(steadyNowUs())
+{
+    {
+        const std::lock_guard<std::mutex> lock(mtx_);
+        lines_.push_back(
+            "{\"schema\": \"cactid-telemetry-v1\", \"record\": "
+            "\"start\", \"total_runs\": " +
+            std::to_string(total_) + ", \"interval_ms\": " +
+            std::to_string(opts_.intervalMs) + "}");
+        writeSnapshotLocked();
+    }
+    thread_ = std::thread([this] { heartbeatLoop(); });
+}
+
+SweepTelemetry::~SweepTelemetry()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mtx_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+std::uint64_t
+SweepTelemetry::elapsedMs() const
+{
+    return (steadyNowUs() - startUs_) / 1000u;
+}
+
+void
+SweepTelemetry::runStarted(std::size_t index, const std::string &config,
+                           const std::string &workload)
+{
+    const std::lock_guard<std::mutex> lock(mtx_);
+    inFlight_[index] = workload + "/" + config;
+}
+
+void
+SweepTelemetry::runFinished(std::size_t index, const RunResult &r,
+                            const HostUsage &host)
+{
+    const std::lock_guard<std::mutex> lock(mtx_);
+    inFlight_.erase(index);
+    ++done_;
+    switch (r.status) {
+    case RunStatus::Ok:
+        ++okCount_;
+        break;
+    case RunStatus::Failed:
+        ++failedCount_;
+        break;
+    case RunStatus::TimedOut:
+        ++timedOutCount_;
+        break;
+    case RunStatus::Skipped:
+        ++skippedCount_;
+        break;
+    }
+    if (r.status != RunStatus::Ok)
+        ++failed_;
+    retried_ += static_cast<std::uint64_t>(r.attempts - 1);
+    cpuMsTotal_ += host.cpuMs;
+    for (const auto &[name, value] : runCounters(r))
+        counters_[name] += value;
+
+    std::string line = "{\"record\": \"run\", \"index\": " +
+                       std::to_string(index) +
+                       ", \"config\": " + jstr(r.config) +
+                       ", \"workload\": " + jstr(r.workload) +
+                       ", \"status\": " + jstr(runStatusName(r.status)) +
+                       ", \"attempts\": " + std::to_string(r.attempts);
+    if (r.status != RunStatus::Ok) {
+        line += ", \"error\": {\"message\": " + jstr(r.error.message) +
+                ", \"phase\": " + jstr(r.error.phase) +
+                ", \"cycle\": " + std::to_string(r.error.cycle) + "}";
+    }
+    line += ", \"counters\": " + countersJson(runCounters(r));
+    line += ", \"host\": {\"wall_ms\": " + std::to_string(host.wallMs) +
+            ", \"cpu_ms\": " + std::to_string(host.cpuMs) +
+            ", \"peak_rss_kb\": " + std::to_string(host.peakRssKb) +
+            "}}";
+    lines_.push_back(std::move(line));
+    writeSnapshotLocked();
+}
+
+std::string
+SweepTelemetry::heartbeatLineLocked()
+{
+    ++seq_;
+    const std::uint64_t elapsed = elapsedMs();
+    const double solves_per_sec =
+        elapsed > 0 ? double(done_) * 1000.0 / double(elapsed) : 0.0;
+    const std::uint64_t eta_ms =
+        done_ > 0 ? elapsed * (total_ - std::min<std::uint64_t>(
+                                            done_, total_)) /
+                        done_
+                  : 0;
+
+    std::string line =
+        "{\"record\": \"heartbeat\", \"host\": {\"seq\": " +
+        std::to_string(seq_) +
+        ", \"elapsed_ms\": " + std::to_string(elapsed) +
+        ", \"total\": " + std::to_string(total_) +
+        ", \"done\": " + std::to_string(done_) +
+        ", \"failed\": " + std::to_string(failed_) +
+        ", \"retried\": " + std::to_string(retried_) +
+        ", \"in_flight\": [";
+    bool first = true;
+    for (const auto &[index, label] : inFlight_) {
+        line += (first ? "" : ", ") + jstr(label);
+        first = false;
+    }
+    line += "], \"solves_per_sec\": " +
+            cactid::obs::fmtDouble(solves_per_sec) +
+            ", \"eta_ms\": " + std::to_string(eta_ms) +
+            ", \"cpu_ms\": " + std::to_string(cpuMsTotal_) +
+            ", \"peak_rss_kb\": " + std::to_string(processPeakRssKb()) +
+            ", \"counters\": " + countersJson(counters_) + "}}";
+    return line;
+}
+
+void
+SweepTelemetry::heartbeatLoop()
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    const auto period = std::chrono::milliseconds(
+        std::max<std::uint64_t>(1, opts_.intervalMs));
+    while (!stop_) {
+        if (cv_.wait_for(lk, period, [this] { return stop_; }))
+            break;
+        if (finished_)
+            continue; // summary already written; keep the file as-is
+        lines_.push_back(heartbeatLineLocked());
+        writeSnapshotLocked();
+    }
+}
+
+void
+SweepTelemetry::finish()
+{
+    const std::lock_guard<std::mutex> lock(mtx_);
+    if (finished_)
+        return;
+    finished_ = true;
+    const std::uint64_t elapsed = elapsedMs();
+    const double solves_per_sec =
+        elapsed > 0 ? double(done_) * 1000.0 / double(elapsed) : 0.0;
+    std::string line =
+        "{\"record\": \"summary\", \"runs\": " + std::to_string(total_) +
+        ", \"ok\": " + std::to_string(okCount_) +
+        ", \"failed\": " + std::to_string(failedCount_) +
+        ", \"timed_out\": " + std::to_string(timedOutCount_) +
+        ", \"skipped\": " + std::to_string(skippedCount_) +
+        ", \"retries\": " + std::to_string(retried_) +
+        ", \"counters\": " + countersJson(counters_) +
+        ", \"host\": {\"elapsed_ms\": " + std::to_string(elapsed) +
+        ", \"solves_per_sec\": " +
+        cactid::obs::fmtDouble(solves_per_sec) +
+        ", \"cpu_ms\": " + std::to_string(cpuMsTotal_) +
+        ", \"peak_rss_kb\": " + std::to_string(processPeakRssKb()) +
+        "}}";
+    lines_.push_back(std::move(line));
+    writeSnapshotLocked();
+}
+
+void
+SweepTelemetry::writeSnapshotLocked()
+{
+    if (errored_)
+        return;
+    std::string doc;
+    for (const std::string &line : lines_) {
+        doc += line;
+        doc += '\n';
+    }
+    std::string err;
+    if (!cactid::util::writeFileAtomic(opts_.path, doc, &err)) {
+        errored_ = true;
+        if (opts_.onError)
+            opts_.onError("telemetry write failed: " + err);
+    }
+}
+
+} // namespace archsim

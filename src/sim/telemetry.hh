@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Live sweep heartbeat: the "cactid-telemetry-v1" JSONL stream.
+ *
+ * A SweepTelemetry turns a running sweep into a file a human (or the
+ * cactid-report tool) can watch: one JSON object per line, atomically
+ * rewritten through util/atomic_file on every update so a concurrent
+ * reader never sees a torn record.  Record types:
+ *
+ *   start      one, first line: schema, total runs, interval — a pure
+ *              function of the sweep (deterministic).
+ *   heartbeat  periodic, from a dedicated thread: progress (done /
+ *              failed / retried, in-flight run labels), throughput
+ *              (solves/sec, ETA), cumulative sim counters of the runs
+ *              finished so far, and process resource usage.  All of
+ *              it depends on scheduling and wall time, so the entire
+ *              payload lives under "host".
+ *   run        one per completed run, in completion order: index,
+ *              labels, status, attempts, key sim.* counters (and the
+ *              error context of a non-Ok run) — all deterministic —
+ *              plus a "host" object (wall/cpu time, peak RSS).
+ *   summary    one, last line: status census and retry totals
+ *              (deterministic), throughput under "host".
+ *
+ * Determinism partition: strip every "host" object, sort the run
+ * records by "index", and the remaining bytes are identical for any
+ * `--jobs` — the contract CI checks.  Only the number and content of
+ * heartbeat lines and the order of run lines vary between schedules.
+ */
+
+#ifndef ARCHSIM_TELEMETRY_HH
+#define ARCHSIM_TELEMETRY_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace archsim {
+
+/** Wall/CPU/RSS accounting of one run on the host machine. */
+struct HostUsage {
+    std::uint64_t wallMs = 0;
+    std::uint64_t cpuMs = 0;     ///< executing thread's CPU time
+    std::uint64_t peakRssKb = 0; ///< process peak at run completion
+};
+
+/**
+ * Measures a HostUsage across a scope: wall time from steady_clock,
+ * CPU time from the calling thread's POSIX CPU clock (0 where
+ * unavailable), peak RSS from getrusage at stop().
+ */
+class HostUsageTimer {
+  public:
+    HostUsageTimer();
+    HostUsage stop() const;
+
+  private:
+    std::uint64_t wallStartUs_ = 0;
+    std::uint64_t cpuStartUs_ = 0;
+};
+
+/** Current process peak RSS in KiB (0 where unavailable). */
+std::uint64_t processPeakRssKb();
+
+/** The heartbeat writer.  One per runAll(); hooks are thread-safe. */
+class SweepTelemetry {
+  public:
+    /** Starts the heartbeat thread and writes the start record. */
+    SweepTelemetry(const TelemetryOptions &opts, std::size_t totalRuns);
+
+    /** Stops the heartbeat thread (finish() already did the work). */
+    ~SweepTelemetry();
+
+    /** A worker picked up run @p index ("workload/config" label). */
+    void runStarted(std::size_t index, const std::string &config,
+                    const std::string &workload);
+
+    /** Run @p index completed (any status, reused runs included). */
+    void runFinished(std::size_t index, const RunResult &r,
+                     const HostUsage &host);
+
+    /** Append the summary record and write the final snapshot. */
+    void finish();
+
+  private:
+    void heartbeatLoop();
+
+    /** Serialize all lines and write the file atomically (locked). */
+    void writeSnapshotLocked();
+
+    /** Build one heartbeat line from the current state (locked). */
+    std::string heartbeatLineLocked();
+
+    std::uint64_t elapsedMs() const;
+
+    TelemetryOptions opts_;
+    std::size_t total_;
+    std::uint64_t startUs_ = 0;
+
+    std::mutex mtx_;
+    std::vector<std::string> lines_; ///< the whole JSONL document
+    std::map<std::size_t, std::string> inFlight_;
+    std::uint64_t done_ = 0;
+    std::uint64_t failed_ = 0; ///< non-Ok runs (any failure status)
+    std::uint64_t retried_ = 0;
+    std::uint64_t okCount_ = 0, failedCount_ = 0, timedOutCount_ = 0,
+                  skippedCount_ = 0;
+    std::uint64_t cpuMsTotal_ = 0;
+    std::map<std::string, std::uint64_t> counters_; ///< finished runs
+    std::uint64_t seq_ = 0;
+    bool errored_ = false;
+    bool finished_ = false;
+
+    bool stop_ = false;
+    std::condition_variable cv_;
+    std::thread thread_;
+};
+
+} // namespace archsim
+
+#endif // ARCHSIM_TELEMETRY_HH

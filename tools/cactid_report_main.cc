@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The `cactid-report` command-line tool: merge the registry dumps
+ * and/or telemetry streams left by one or more cactid-study shards
+ * and render a markdown report (progress, latency percentiles,
+ * slowest runs, fault census).  The merged counters can also be
+ * re-exported as one OpenMetrics document.
+ *
+ * Usage:
+ *   cactid-report --registry a.json --registry b.json
+ *   cactid-report --telemetry shard0.jsonl --telemetry shard1.jsonl
+ *   cactid-report --registry r.json --out report.md --top 5
+ *   cactid-report --registry a.json --openmetrics merged.om
+ *
+ * The report is a pure function of the merged inputs: giving the
+ * shards in any order produces the same bytes, and N shard dumps
+ * produce the same report as the equivalent unsharded dump.
+ *
+ * Exit codes: 0 success; 2 usage error or unreadable/malformed
+ * input; 3 output write failure.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/build_info.hh"
+#include "report.hh"
+#include "util/atomic_file.hh"
+
+namespace {
+
+void
+printHelp()
+{
+    std::printf(
+        "cactid-report - merge sweep shards into a markdown report\n"
+        "\n"
+        "usage: cactid-report [options]\n"
+        "  --registry FILE    a cactid-obs-v1 registry dump\n"
+        "                     (repeatable, one per shard)\n"
+        "  --telemetry FILE   a cactid-telemetry-v1 JSONL stream\n"
+        "                     (repeatable; a live file without its\n"
+        "                     summary record is accepted)\n"
+        "  --out FILE         the markdown report (- for stdout;\n"
+        "                     default -)\n"
+        "  --top N            rows in the slowest-runs table\n"
+        "                     (default 10)\n"
+        "  --openmetrics FILE the merged registries as one\n"
+        "                     OpenMetrics document (- for stdout)\n"
+        "  --version          build stamp\n"
+        "  --help             this text\n");
+}
+
+struct CliArgs {
+    std::vector<std::string> registryPaths;
+    std::vector<std::string> telemetryPaths;
+    std::string outPath = "-";
+    std::string openMetricsPath;
+    int topN = 10;
+    bool help = false;
+    bool version = false;
+};
+
+/** @return false (after printing the problem) on a usage error */
+bool
+parseArgs(int argc, char **argv, CliArgs &args)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "cactid-report: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            args.help = true;
+        } else if (a == "--version") {
+            args.version = true;
+        } else if (a == "--registry") {
+            const char *v = need("--registry");
+            if (!v)
+                return false;
+            args.registryPaths.push_back(v);
+        } else if (a == "--telemetry") {
+            const char *v = need("--telemetry");
+            if (!v)
+                return false;
+            args.telemetryPaths.push_back(v);
+        } else if (a == "--out") {
+            const char *v = need("--out");
+            if (!v)
+                return false;
+            args.outPath = v;
+        } else if (a == "--openmetrics") {
+            const char *v = need("--openmetrics");
+            if (!v)
+                return false;
+            args.openMetricsPath = v;
+        } else if (a == "--top") {
+            const char *v = need("--top");
+            if (!v)
+                return false;
+            args.topN = std::atoi(v);
+            if (args.topN < 0) {
+                std::fprintf(stderr,
+                             "cactid-report: --top needs a value "
+                             ">= 0\n");
+                return false;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "cactid-report: unknown option '%s' "
+                         "(--help for usage)\n",
+                         a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Write via @p fn to stdout or atomically to @p path. */
+bool
+withStream(const std::string &path,
+           const std::function<void(std::ostream &)> &fn)
+{
+    if (path == "-") {
+        fn(std::cout);
+        std::cout.flush();
+        if (!std::cout) {
+            std::fprintf(stderr,
+                         "cactid-report: write to stdout failed\n");
+            return false;
+        }
+        return true;
+    }
+    std::string err;
+    if (!cactid::util::writeFileAtomic(path, fn, &err)) {
+        std::fprintf(stderr, "cactid-report: %s\n", err.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cactid::tools;
+
+    CliArgs args;
+    if (!parseArgs(argc, argv, args))
+        return 2;
+    if (args.help) {
+        printHelp();
+        return 0;
+    }
+    if (args.version) {
+        std::ostringstream os;
+        cactid::obs::writeBuildInfoJson(os);
+        std::printf("%s\n", os.str().c_str());
+        return 0;
+    }
+    if (args.registryPaths.empty() && args.telemetryPaths.empty()) {
+        std::fprintf(stderr,
+                     "cactid-report: nothing to report: give at "
+                     "least one --registry or --telemetry file\n");
+        return 2;
+    }
+
+    std::vector<RegistryShard> registries;
+    for (const std::string &path : args.registryPaths) {
+        RegistryShard shard;
+        std::string err;
+        if (!loadRegistryDump(path, shard, &err)) {
+            std::fprintf(stderr, "cactid-report: %s\n", err.c_str());
+            return 2;
+        }
+        registries.push_back(std::move(shard));
+    }
+    std::vector<TelemetryShard> telemetry;
+    for (const std::string &path : args.telemetryPaths) {
+        TelemetryShard shard;
+        std::string err;
+        if (!loadTelemetry(path, shard, &err)) {
+            std::fprintf(stderr, "cactid-report: %s\n", err.c_str());
+            return 2;
+        }
+        telemetry.push_back(std::move(shard));
+    }
+
+    try {
+        bool io_ok = withStream(args.outPath, [&](std::ostream &os) {
+            writeMarkdownReport(os, registries, telemetry, args.topN);
+        });
+        if (!args.openMetricsPath.empty()) {
+            io_ok &= withStream(
+                args.openMetricsPath, [&](std::ostream &os) {
+                    writeMergedOpenMetrics(os, registries);
+                });
+        }
+        return io_ok ? 0 : 3;
+    } catch (const std::invalid_argument &e) {
+        // Shard merge rejected mismatched histogram bounds.
+        std::fprintf(stderr, "cactid-report: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cactid-report: internal error: %s\n",
+                     e.what());
+        return 3;
+    }
+}

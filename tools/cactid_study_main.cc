@@ -21,6 +21,13 @@
  *   cactid-study --trace FILE            simulator events as Chrome
  *                                        trace JSON (deterministic)
  *   cactid-study --registry FILE         per-run counter registries
+ *   cactid-study --openmetrics FILE      the same counters in the
+ *                                        OpenMetrics text format
+ *   cactid-study --latency-histograms    per-level latency and queue
+ *                                        distributions (sim.lat.*)
+ *   cactid-study --telemetry FILE        live JSONL sweep heartbeat
+ *   cactid-study --telemetry-interval MS heartbeat period (default
+ *                                        1000)
  *   cactid-study --profile               wall-clock span summary
  *   cactid-study --checkpoint DIR        persist each completed run
  *   cactid-study --checkpoint DIR --resume
@@ -94,6 +101,21 @@ printHelp()
         "                     clock, byte-identical for any --jobs)\n"
         "  --trace-capacity N per-run event ring size (default 16384)\n"
         "  --registry FILE    write per-run counters as cactid-obs-v1\n"
+        "  --openmetrics FILE write per-run counters in the\n"
+        "                     OpenMetrics text exposition (- for\n"
+        "                     stdout; run=\"workload/config\" labels)\n"
+        "  --latency-histograms\n"
+        "                     record per-level access-latency and\n"
+        "                     queueing distributions (sim.lat.* in\n"
+        "                     the registry, percentiles in the JSON;\n"
+        "                     byte-identical for any --jobs)\n"
+        "  --telemetry FILE   append a live cactid-telemetry-v1 JSONL\n"
+        "                     snapshot (atomically rewritten; wall-\n"
+        "                     clock fields under per-record \"host\"\n"
+        "                     objects, everything else deterministic)\n"
+        "  --telemetry-interval MS\n"
+        "                     heartbeat period in milliseconds\n"
+        "                     (default 1000)\n"
         "  --profile          wall-clock span summary on stderr\n"
         "  --checkpoint DIR   persist each completed run atomically\n"
         "                     under DIR (incompatible with --trace)\n"
@@ -148,7 +170,11 @@ struct CliArgs {
     archsim::Cycle epoch = 20000;
     std::string configs, workloads;
     std::string jsonPath, csvPath, summaryPath;
-    std::string tracePath, registryPath;
+    std::string tracePath, registryPath, openMetricsPath;
+    std::string telemetryPath;
+    std::uint64_t telemetryIntervalMs = 1000;
+    bool telemetryIntervalSet = false;
+    bool latencyHistograms = false;
     std::string checkpointDir, faultPlanSpec;
     std::size_t traceCapacity = 1 << 14;
     archsim::Cycle maxCycles = 0;
@@ -218,6 +244,17 @@ parseArgs(int argc, char **argv)
                                   : 0;
         else if (!std::strcmp(arg, "--registry"))
             a.registryPath = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--openmetrics"))
+            a.openMetricsPath = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--telemetry"))
+            a.telemetryPath = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--telemetry-interval")) {
+            a.telemetryIntervalMs = (v = value(i, arg))
+                                        ? std::strtoull(v, nullptr, 10)
+                                        : 0;
+            a.telemetryIntervalSet = true;
+        } else if (!std::strcmp(arg, "--latency-histograms"))
+            a.latencyHistograms = true;
         else if (!std::strcmp(arg, "--checkpoint"))
             a.checkpointDir = (v = value(i, arg)) ? v : "";
         else if (!std::strcmp(arg, "--resume"))
@@ -278,6 +315,25 @@ parseArgs(int argc, char **argv)
                      "cactid-study: --checkpoint cannot be combined "
                      "with --trace (event streams are not "
                      "checkpointed)\n");
+        a.ok = false;
+    }
+    if (a.ok && !a.checkpointDir.empty() && a.latencyHistograms) {
+        std::fprintf(stderr,
+                     "cactid-study: --checkpoint cannot be combined "
+                     "with --latency-histograms (distributions are "
+                     "not checkpointed)\n");
+        a.ok = false;
+    }
+    if (a.ok && a.telemetryIntervalSet && a.telemetryPath.empty()) {
+        std::fprintf(stderr,
+                     "cactid-study: --telemetry-interval requires "
+                     "--telemetry\n");
+        a.ok = false;
+    }
+    if (a.ok && a.telemetryIntervalSet && a.telemetryIntervalMs < 1) {
+        std::fprintf(stderr,
+                     "cactid-study: --telemetry-interval needs a "
+                     "value >= 1\n");
         a.ok = false;
     }
     if (a.ok && a.retry < 1) {
@@ -425,6 +481,23 @@ main(int argc, char **argv)
         opts.workloads = splitList(args.workloads);
         opts.trace = !args.tracePath.empty();
         opts.traceCapacity = args.traceCapacity;
+        opts.latencyHistograms = args.latencyHistograms;
+
+        // Telemetry write failures degrade like checkpoint failures:
+        // the sweep completes, the tool exits 3.
+        std::mutex telem_mtx;
+        std::string telem_err;
+        bool telem_ok = true;
+        if (!args.telemetryPath.empty()) {
+            opts.telemetry.path = args.telemetryPath;
+            opts.telemetry.intervalMs = args.telemetryIntervalMs;
+            opts.telemetry.onError = [&](const std::string &msg) {
+                const std::lock_guard<std::mutex> lock(telem_mtx);
+                telem_ok = false;
+                if (telem_err.empty())
+                    telem_err = msg;
+            };
+        }
         opts.maxCycles = args.maxCycles;
         opts.maxWallMs = args.maxWallMs;
         opts.nCores = args.cores;
@@ -527,6 +600,11 @@ main(int argc, char **argv)
                 withStream(args.registryPath, [&](std::ostream &os) {
                     exportRegistry(os, runs, runner);
                 });
+        if (!args.openMetricsPath.empty())
+            io_ok &=
+                withStream(args.openMetricsPath, [&](std::ostream &os) {
+                    exportOpenMetrics(os, runs, runner);
+                });
         if (args.profile) {
             cactid::obs::writeProfileSummary(
                 std::cerr, cactid::obs::Tracer::instance().collect());
@@ -535,7 +613,10 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "cactid-study: checkpoint write failed: %s\n",
                          ckpt_err.c_str());
-        if (!io_ok || !ckpt_ok)
+        if (!telem_ok)
+            std::fprintf(stderr, "cactid-study: %s\n",
+                         telem_err.c_str());
+        if (!io_ok || !ckpt_ok || !telem_ok)
             return 3;
         for (const RunResult &r : runs) {
             if (!r.ok())
