@@ -15,9 +15,12 @@
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "core/fingerprint.hh"
 #include "core/optimizer.hh"
+#include "core/solve_cache.hh"
 #include "core/solver.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
@@ -94,14 +97,10 @@ SolverEngine::resolveJobs(int jobs)
     return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-SolveResult
-SolverEngine::run(const Technology &t, const MemoryConfig &cfg,
-                  EngineStats *stats) const
+std::vector<Solution>
+SolverEngine::runPipeline(const Technology &t, const MemoryConfig &cfg,
+                          SolveResult &res) const
 {
-    OBS_PROFILE_SCOPE("solver.run");
-    const auto t_total = Clock::now();
-
-    SolveResult res;
     EngineStats &st = res.stats;
     st.jobsUsed = resolveJobs(opts_.jobs);
 
@@ -189,29 +188,165 @@ SolverEngine::run(const Technology &t, const MemoryConfig &cfg,
         throw std::runtime_error(
             "no feasible solutions for " + cfg.summary());
 
-    // --- Stage 4: constraint passes + objective.  The streaming fold
-    // already applied the final max-area criterion (its running best
-    // converges to the true best), so only the access-time pass and
-    // the objective remain.
+    // --- Stage 4a: the access-time constraint pass.  The streaming
+    // fold already applied the final max-area criterion (its running
+    // best converges to the true best).  The survivors returned here
+    // are weight-independent: only the objective pass remains.
     const auto t_filter = Clock::now();
     OBS_PROFILE_SCOPE("solver.filter");
     std::vector<Solution> live = fold.take();
     st.timePruned = filterByAccessTime(live, cfg.maxAccTimeConstraint);
+    st.filterSeconds = secondsSince(t_filter);
+    return live;
+}
+
+SolveResult
+SolverEngine::run(const Technology &t, const MemoryConfig &cfg,
+                  EngineStats *stats) const
+{
+    OBS_PROFILE_SCOPE("solver.run");
+    const auto t_total = Clock::now();
+
+    SolveResult res;
+    std::vector<Solution> live = runPipeline(t, cfg, res);
+
+    // --- Stage 4b: the objective pass.
+    const auto t_objective = Clock::now();
     res.best = selectBest(live, cfg.weights);
     res.filtered = std::move(live);
-    st.filterSeconds = secondsSince(t_filter);
+    res.stats.filterSeconds += secondsSince(t_objective);
 
-    st.totalSeconds = secondsSince(t_total);
+    res.stats.totalSeconds = secondsSince(t_total);
     if (stats)
-        *stats = st;
+        *stats = res.stats;
     return res;
 }
 
 SolveResult
 SolverEngine::run(const MemoryConfig &cfg, EngineStats *stats) const
 {
+    SolveCache *cache = opts_.cache ? opts_.cache : globalSolveCache();
+    std::string key;
+    ConfigFingerprint fp;
+    if (cache) {
+        key = canonicalKey(cfg);
+        fp = keyFingerprint(key);
+        SolveResult out;
+        if (cache->lookup(fp, key, opts_.collectAll, out)) {
+            if (stats)
+                *stats = out.stats;
+            return out;
+        }
+    }
     const Technology t(cfg.featureNm, cfg.temperatureK);
-    return run(t, cfg, stats);
+    SolveResult res = run(t, cfg, stats);
+    if (cache)
+        cache->insert(fp, key, res, opts_.collectAll);
+    return res;
+}
+
+std::vector<SolveResult>
+SolverEngine::solveBatch(const std::vector<MemoryConfig> &cfgs,
+                         BatchStats *batch_stats) const
+{
+    OBS_PROFILE_SCOPE("solver.batch");
+    BatchStats bs;
+    bs.requests = cfgs.size();
+
+    // --- Collapse 1: requests with equal canonical keys are one
+    // solve.  Unique solves keep first-appearance order so the work
+    // below is deterministic regardless of request order ties.
+    struct Unique {
+        const MemoryConfig *cfg = nullptr;
+        std::string key;
+        ConfigFingerprint fp;
+        std::vector<std::size_t> requests; ///< indices into cfgs
+        SolveResult res;
+        bool solved = false;
+    };
+    std::vector<Unique> uniq;
+    std::unordered_map<std::string, std::size_t> byKey;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        std::string key = canonicalKey(cfgs[i]);
+        const auto it = byKey.find(key);
+        if (it != byKey.end()) {
+            uniq[it->second].requests.push_back(i);
+            continue;
+        }
+        byKey.emplace(key, uniq.size());
+        Unique u;
+        u.cfg = &cfgs[i];
+        u.fp = keyFingerprint(key);
+        u.key = std::move(key);
+        u.requests.push_back(i);
+        uniq.push_back(std::move(u));
+    }
+    bs.uniqueSolves = uniq.size();
+
+    // --- Collapse 2: cache, then group the misses by share key.
+    // Members of a group differ only in objective weights, so stages
+    // 1-3 and both constraint filters run once per group.
+    SolveCache *cache = opts_.cache ? opts_.cache : globalSolveCache();
+    std::vector<std::vector<std::size_t>> groups;
+    std::unordered_map<std::string, std::size_t> byShareKey;
+    for (std::size_t ui = 0; ui < uniq.size(); ++ui) {
+        Unique &u = uniq[ui];
+        if (cache && cache->lookup(u.fp, u.key, opts_.collectAll,
+                                   u.res)) {
+            u.solved = true;
+            ++bs.cacheHits;
+            continue;
+        }
+        std::string share = canonicalShareKey(*u.cfg);
+        const auto it = byShareKey.find(share);
+        if (it != byShareKey.end()) {
+            groups[it->second].push_back(ui);
+        } else {
+            byShareKey.emplace(std::move(share), groups.size());
+            groups.push_back({ui});
+        }
+    }
+    bs.shareGroups = groups.size();
+
+    for (const std::vector<std::size_t> &group : groups) {
+        const auto t_total = Clock::now();
+        const MemoryConfig &rep = *uniq[group.front()].cfg;
+        const Technology t(rep.featureNm, rep.temperatureK);
+        SolveResult shared;
+        std::vector<Solution> live = runPipeline(t, rep, shared);
+        for (std::size_t gi = 0; gi < group.size(); ++gi) {
+            Unique &u = uniq[group[gi]];
+            const bool last = gi + 1 == group.size();
+            u.res.all = last ? std::move(shared.all) : shared.all;
+            u.res.stats = shared.stats;
+            // selectBest writes the member's objective into the
+            // survivors, so each member ranks its own copy — exactly
+            // what an independent run(cfg) would have produced.
+            std::vector<Solution> member_live =
+                last ? std::move(live) : live;
+            const auto t_objective = Clock::now();
+            u.res.best = selectBest(member_live, u.cfg->weights);
+            u.res.filtered = std::move(member_live);
+            u.res.stats.filterSeconds += secondsSince(t_objective);
+            u.res.stats.totalSeconds = secondsSince(t_total);
+            if (cache)
+                cache->insert(u.fp, u.key, u.res, opts_.collectAll);
+            u.solved = true;
+        }
+    }
+
+    // --- Scatter back to request order.
+    std::vector<SolveResult> out(cfgs.size());
+    for (Unique &u : uniq) {
+        for (std::size_t ri = 0; ri < u.requests.size(); ++ri) {
+            const bool last = ri + 1 == u.requests.size();
+            out[u.requests[ri]] =
+                last ? std::move(u.res) : u.res;
+        }
+    }
+    if (batch_stats)
+        *batch_stats = bs;
+    return out;
 }
 
 std::string

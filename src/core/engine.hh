@@ -25,12 +25,17 @@
 #ifndef CACTID_CORE_ENGINE_HH
 #define CACTID_CORE_ENGINE_HH
 
+#include <cstddef>
+#include <vector>
+
 #include "core/config.hh"
 #include "core/engine_stats.hh"
 #include "core/result.hh"
 #include "tech/technology.hh"
 
 namespace cactid {
+
+class SolveCache;
 
 /** Knobs controlling how a solve executes (not what it computes). */
 struct SolverOptions {
@@ -47,6 +52,25 @@ struct SolverOptions {
      * bounds peak memory on large sweeps.
      */
     bool collectAll = true;
+
+    /**
+     * Memoization cache consulted by run(cfg) and solveBatch().
+     * nullptr falls back to globalSolveCache() (itself nullptr by
+     * default, i.e. no caching).  Caching never changes results: the
+     * engine's determinism guarantee makes a hit byte-identical to
+     * re-solving.  The explicit-Technology run(t, cfg) overload never
+     * caches — the cache key cannot see a caller-constructed
+     * Technology, so memoizing it could serve stale physics.
+     */
+    SolveCache *cache = nullptr;
+};
+
+/** What solveBatch did with its requests (dedup effectiveness). */
+struct BatchStats {
+    std::size_t requests = 0;     ///< configs passed in
+    std::size_t uniqueSolves = 0; ///< distinct canonical fingerprints
+    std::size_t cacheHits = 0;    ///< unique solves served by the cache
+    std::size_t shareGroups = 0;  ///< pipelines actually executed
 };
 
 /** The streaming, parallel, instrumented solve pipeline. */
@@ -64,9 +88,35 @@ public:
     SolveResult run(const Technology &t, const MemoryConfig &cfg,
                     EngineStats *stats = nullptr) const;
 
-    /** Construct the technology from the config, then run. */
+    /**
+     * Construct the technology from the config, then run.  This
+     * overload consults the configured (or global) SolveCache: a hit
+     * returns the memoized result — byte-identical best/filtered/all,
+     * stats from the solve that populated the entry — and a miss
+     * solves and memoizes.
+     */
     SolveResult run(const MemoryConfig &cfg,
                     EngineStats *stats = nullptr) const;
+
+    /**
+     * Solve many configs at once, returning results in request order,
+     * each bit-identical (best/filtered/all) to an independent
+     * run(cfg) call at any jobs setting.
+     *
+     * The batch is collapsed twice before any work happens: requests
+     * with equal canonical fingerprints share one solve, and requests
+     * that differ only in objective weights share one partition
+     * enumeration + evaluation + constraint pipeline (the weights
+     * only enter the final objective pass, which runs per request).
+     * Unique solves go through the cache like run(cfg).
+     *
+     * @throws std::runtime_error when any request has no feasible
+     *         candidates (batch requests are all-or-nothing; callers
+     *         needing per-request isolation fall back to run()).
+     */
+    std::vector<SolveResult>
+    solveBatch(const std::vector<MemoryConfig> &cfgs,
+               BatchStats *batch_stats = nullptr) const;
 
     const SolverOptions &options() const { return opts_; }
 
@@ -74,6 +124,17 @@ public:
     static int resolveJobs(int jobs);
 
 private:
+    /**
+     * Stages 1-3 plus the access-time pass: everything before the
+     * objective.  Fills res.all (when collecting) and res.stats, and
+     * returns the constraint survivors with objectives unset.  This
+     * is the weight-independent prefix solveBatch shares across a
+     * group.
+     */
+    std::vector<Solution> runPipeline(const Technology &t,
+                                      const MemoryConfig &cfg,
+                                      SolveResult &res) const;
+
     SolverOptions opts_;
 };
 

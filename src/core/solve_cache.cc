@@ -1,0 +1,556 @@
+/**
+ * @file
+ * Memoized solve cache implementation.
+ */
+
+#include "core/solve_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include <sys/stat.h>
+
+#include "obs/build_info.hh"
+#include "obs/numfmt.hh"
+#include "obs/registry.hh"
+#include "util/atomic_file.hh"
+#include "util/hash.hh"
+
+namespace cactid {
+
+namespace {
+
+std::string
+num(double v)
+{
+    return obs::fmtDouble(v);
+}
+
+/** strtod on a whole token: locale-proof for fmtDouble output. */
+bool
+parseDouble(std::istringstream &ss, double &out)
+{
+    std::string tok;
+    if (!(ss >> tok))
+        return false;
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end);
+    return end == tok.c_str() + tok.size();
+}
+
+bool
+parseU64(std::istringstream &ss, std::uint64_t &out)
+{
+    return static_cast<bool>(ss >> out);
+}
+
+bool
+parseInt(std::istringstream &ss, int &out)
+{
+    return static_cast<bool>(ss >> out);
+}
+
+bool
+parseBool(std::istringstream &ss, bool &out)
+{
+    int v = 0;
+    if (!(ss >> v) || (v != 0 && v != 1))
+        return false;
+    out = v != 0;
+    return true;
+}
+
+void
+encodeBank(std::ostream &os, const BankMetrics &b)
+{
+    os << b.part.rowsPerSubarray << ' ' << b.part.colsPerSubarray
+       << ' ' << b.part.blMux << ' ' << b.part.samMux << ' '
+       << b.nMats << ' ' << b.gridX << ' ' << b.gridY << ' '
+       << b.nActiveMats << ' ' << num(b.width) << ' '
+       << num(b.height) << ' ' << num(b.area) << ' '
+       << num(b.areaEfficiency) << ' ' << num(b.accessTime) << ' '
+       << num(b.randomCycle) << ' ' << num(b.interleaveCycle) << ' '
+       << num(b.tRcd) << ' ' << num(b.tCas) << ' ' << num(b.tRp)
+       << ' ' << num(b.tRas) << ' ' << num(b.tRc) << ' '
+       << num(b.tRrd) << ' ' << num(b.readEnergy) << ' '
+       << num(b.writeEnergy) << ' ' << num(b.activateEnergy) << ' '
+       << num(b.readBurstEnergy) << ' ' << num(b.writeBurstEnergy)
+       << ' ' << num(b.leakage) << ' ' << num(b.refreshPower) << ' '
+       << (b.feasible ? 1 : 0);
+}
+
+bool
+decodeBank(std::istringstream &ss, BankMetrics &b)
+{
+    return parseInt(ss, b.part.rowsPerSubarray) &&
+           parseInt(ss, b.part.colsPerSubarray) &&
+           parseInt(ss, b.part.blMux) && parseInt(ss, b.part.samMux) &&
+           parseInt(ss, b.nMats) && parseInt(ss, b.gridX) &&
+           parseInt(ss, b.gridY) && parseInt(ss, b.nActiveMats) &&
+           parseDouble(ss, b.width) && parseDouble(ss, b.height) &&
+           parseDouble(ss, b.area) &&
+           parseDouble(ss, b.areaEfficiency) &&
+           parseDouble(ss, b.accessTime) &&
+           parseDouble(ss, b.randomCycle) &&
+           parseDouble(ss, b.interleaveCycle) &&
+           parseDouble(ss, b.tRcd) && parseDouble(ss, b.tCas) &&
+           parseDouble(ss, b.tRp) && parseDouble(ss, b.tRas) &&
+           parseDouble(ss, b.tRc) && parseDouble(ss, b.tRrd) &&
+           parseDouble(ss, b.readEnergy) &&
+           parseDouble(ss, b.writeEnergy) &&
+           parseDouble(ss, b.activateEnergy) &&
+           parseDouble(ss, b.readBurstEnergy) &&
+           parseDouble(ss, b.writeBurstEnergy) &&
+           parseDouble(ss, b.leakage) &&
+           parseDouble(ss, b.refreshPower) &&
+           parseBool(ss, b.feasible);
+}
+
+void
+encodeSolution(std::ostream &os, const Solution &s)
+{
+    os << (s.hasTag ? 1 : 0) << ' ' << num(s.totalArea) << ' '
+       << num(s.bankArea) << ' ' << num(s.areaEfficiency) << ' '
+       << num(s.accessTime) << ' ' << num(s.randomCycle) << ' '
+       << num(s.interleaveCycle) << ' ' << num(s.readEnergy) << ' '
+       << num(s.writeEnergy) << ' ' << num(s.leakage) << ' '
+       << num(s.refreshPower) << ' ' << num(s.tRcd) << ' '
+       << num(s.tCas) << ' ' << num(s.tRp) << ' ' << num(s.tRas)
+       << ' ' << num(s.tRc) << ' ' << num(s.tRrd) << ' '
+       << num(s.activateEnergy) << ' ' << num(s.readBurstEnergy)
+       << ' ' << num(s.writeBurstEnergy) << ' ' << s.nSubbanks << ' '
+       << num(s.objective) << ' ';
+    encodeBank(os, s.data);
+    os << ' ';
+    encodeBank(os, s.tag);
+}
+
+bool
+decodeSolution(const std::string &line, Solution &s)
+{
+    std::istringstream ss(line);
+    return parseBool(ss, s.hasTag) && parseDouble(ss, s.totalArea) &&
+           parseDouble(ss, s.bankArea) &&
+           parseDouble(ss, s.areaEfficiency) &&
+           parseDouble(ss, s.accessTime) &&
+           parseDouble(ss, s.randomCycle) &&
+           parseDouble(ss, s.interleaveCycle) &&
+           parseDouble(ss, s.readEnergy) &&
+           parseDouble(ss, s.writeEnergy) &&
+           parseDouble(ss, s.leakage) &&
+           parseDouble(ss, s.refreshPower) && parseDouble(ss, s.tRcd) &&
+           parseDouble(ss, s.tCas) && parseDouble(ss, s.tRp) &&
+           parseDouble(ss, s.tRas) && parseDouble(ss, s.tRc) &&
+           parseDouble(ss, s.tRrd) &&
+           parseDouble(ss, s.activateEnergy) &&
+           parseDouble(ss, s.readBurstEnergy) &&
+           parseDouble(ss, s.writeBurstEnergy) &&
+           parseInt(ss, s.nSubbanks) && parseDouble(ss, s.objective) &&
+           decodeBank(ss, s.data) && decodeBank(ss, s.tag);
+}
+
+/** Approximate resident size of one cache entry. */
+std::size_t
+entryBytes(const std::string &key, const SolveResult &res)
+{
+    // Key bytes + one Solution per stored element (best counts as
+    // one) + a fixed allowance for the list/map node bookkeeping.
+    return key.size() +
+           (res.filtered.size() + res.all.size() + 1) *
+               sizeof(Solution) +
+           128;
+}
+
+} // namespace
+
+SolveCache::SolveCache(SolveCacheConfig cfg) : cfg_(std::move(cfg))
+{
+    stamp_ = cfg_.buildStamp.empty() ? defaultBuildStamp()
+                                     : cfg_.buildStamp;
+    const int n_shards = cfg_.shards < 1 ? 1 : cfg_.shards;
+    shards_.reserve(static_cast<std::size_t>(n_shards));
+    for (int i = 0; i < n_shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    const std::size_t n = shards_.size();
+    maxEntriesPerShard_ =
+        cfg_.maxEntries / n > 0 ? cfg_.maxEntries / n : 1;
+    maxBytesPerShard_ = cfg_.maxBytes / n > 0 ? cfg_.maxBytes / n : 1;
+    if (!cfg_.diskDir.empty())
+        ::mkdir(cfg_.diskDir.c_str(), 0755); // EEXIST is fine
+}
+
+std::string
+SolveCache::defaultBuildStamp()
+{
+    const obs::BuildInfo &b = obs::buildInfo();
+    std::string s = "cactid-build|" + b.gitDescribe + "|" +
+                    b.compiler + "|" + b.flags + "|" + b.buildType +
+                    "|" + (b.tracingCompiled ? "trace" : "notrace");
+    return util::hex16(util::fnv1a64(s));
+}
+
+SolveCache::Shard &
+SolveCache::shardFor(const ConfigFingerprint &fp)
+{
+    return *shards_[(fp.lo ^ fp.hi) % shards_.size()];
+}
+
+bool
+SolveCache::lookup(const ConfigFingerprint &fp, const std::string &key,
+                   bool want_all, SolveResult &out)
+{
+    Shard &sh = shardFor(fp);
+    {
+        std::lock_guard<std::mutex> lock(sh.mtx);
+        const auto it = sh.index.find(fp.lo);
+        if (it != sh.index.end()) {
+            Entry &e = *it->second;
+            if (e.fp == fp && e.key == key &&
+                (e.hasAll || !want_all)) {
+                sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+                out = e.res;
+                if (!want_all)
+                    out.all.clear();
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+        }
+    }
+    if (!cfg_.diskDir.empty() &&
+        diskLookup(fp, key, want_all, out)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        diskHits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+bool
+SolveCache::diskLookup(const ConfigFingerprint &fp,
+                       const std::string &key, bool want_all,
+                       SolveResult &out)
+{
+    const std::string path = recordPath(fp);
+    std::string bytes;
+    if (!util::readFile(path, bytes))
+        return false; // a missing record is a plain miss
+    SolveResult res;
+    bool has_all = false;
+    std::string why;
+    if (decodeRecord(bytes, fp, key, res, has_all, &why) !=
+        Load::Loaded) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        warnOnce("rejected cache record " + path + ": " + why);
+        return false;
+    }
+    if (!has_all && want_all)
+        return false; // memoized without `all`; must re-solve
+    {
+        Shard &sh = shardFor(fp);
+        std::lock_guard<std::mutex> lock(sh.mtx);
+        storeLocked(sh, fp, key, res, has_all);
+    }
+    out = std::move(res);
+    if (!want_all)
+        out.all.clear();
+    return true;
+}
+
+void
+SolveCache::storeLocked(Shard &sh, const ConfigFingerprint &fp,
+                        const std::string &key, const SolveResult &res,
+                        bool has_all)
+{
+    const auto it = sh.index.find(fp.lo);
+    if (it != sh.index.end()) {
+        sh.bytes -= it->second->bytes;
+        sh.lru.erase(it->second);
+        sh.index.erase(it);
+    }
+    Entry e;
+    e.fp = fp;
+    e.key = key;
+    e.res = res;
+    e.hasAll = has_all;
+    e.bytes = entryBytes(key, res);
+    sh.bytes += e.bytes;
+    sh.lru.push_front(std::move(e));
+    sh.index[fp.lo] = sh.lru.begin();
+    // Enforce the per-shard bounds, never evicting the sole entry (a
+    // single oversized result is still worth memoizing).
+    while (sh.lru.size() > 1 &&
+           (sh.lru.size() > maxEntriesPerShard_ ||
+            sh.bytes > maxBytesPerShard_)) {
+        const Entry &victim = sh.lru.back();
+        sh.bytes -= victim.bytes;
+        sh.index.erase(victim.fp.lo);
+        sh.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+SolveCache::insert(const ConfigFingerprint &fp, const std::string &key,
+                   const SolveResult &res, bool has_all)
+{
+    {
+        Shard &sh = shardFor(fp);
+        std::lock_guard<std::mutex> lock(sh.mtx);
+        storeLocked(sh, fp, key, res, has_all);
+    }
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.diskDir.empty())
+        return;
+    std::string err;
+    if (util::writeFileAtomic(recordPath(fp),
+                              encodeRecord(key, res, has_all), &err))
+        diskWrites_.fetch_add(1, std::memory_order_relaxed);
+    else
+        warnOnce("cache record write failed: " + err);
+}
+
+SolveCacheCounters
+SolveCache::counters() const
+{
+    SolveCacheCounters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    c.inserts = inserts_.load(std::memory_order_relaxed);
+    c.diskHits = diskHits_.load(std::memory_order_relaxed);
+    c.diskWrites = diskWrites_.load(std::memory_order_relaxed);
+    c.rejected = rejected_.load(std::memory_order_relaxed);
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh->mtx);
+        c.entries += sh->lru.size();
+        c.bytes += sh->bytes;
+    }
+    return c;
+}
+
+std::string
+SolveCache::recordPath(const ConfigFingerprint &fp) const
+{
+    if (cfg_.diskDir.empty())
+        return {};
+    return cfg_.diskDir + "/sc-" + fp.hex() + ".v1";
+}
+
+std::string
+SolveCache::encodeRecord(const std::string &key,
+                         const SolveResult &res, bool has_all) const
+{
+    std::ostringstream os;
+    os << "cactid-cache-v1\n";
+    os << "build " << stamp_ << "\n";
+    os << "key " << key << "\n";
+    os << "hasall " << (has_all ? 1 : 0) << "\n";
+    const EngineStats &st = res.stats;
+    os << "stats " << st.partitionsEnumerated << ' '
+       << st.partitionsInfeasible << ' ' << st.solutionsBuilt << ' '
+       << st.areaPruned << ' ' << st.timePruned << ' '
+       << st.peakLiveSolutions << ' ' << st.jobsUsed << ' '
+       << num(st.setupSeconds) << ' ' << num(st.evaluateSeconds)
+       << ' ' << num(st.filterSeconds) << ' ' << num(st.totalSeconds)
+       << "\n";
+    os << "best ";
+    encodeSolution(os, res.best);
+    os << "\n";
+    os << "filtered " << res.filtered.size() << "\n";
+    for (const Solution &s : res.filtered) {
+        os << "s ";
+        encodeSolution(os, s);
+        os << "\n";
+    }
+    os << "all " << res.all.size() << "\n";
+    for (const Solution &s : res.all) {
+        os << "s ";
+        encodeSolution(os, s);
+        os << "\n";
+    }
+    std::string body = os.str();
+    body += "crc " + util::hex16(util::fnv1a64(body)) + "\n";
+    return body;
+}
+
+namespace {
+
+/** Pull the `word rest-of-line` lines of a record apart. */
+class RecordReader
+{
+  public:
+    explicit RecordReader(const std::string &bytes) : ss_(bytes) {}
+
+    bool
+    next(std::string &line)
+    {
+        return static_cast<bool>(std::getline(ss_, line));
+    }
+
+    /** Expect a `key value` line; value is the rest of the line. */
+    bool
+    field(const char *key, std::string &value)
+    {
+        std::string line;
+        if (!next(line))
+            return false;
+        const std::string prefix = std::string(key) + " ";
+        if (line.compare(0, prefix.size(), prefix) != 0)
+            return false;
+        value = line.substr(prefix.size());
+        return true;
+    }
+
+  private:
+    std::istringstream ss_;
+};
+
+} // namespace
+
+SolveCache::Load
+SolveCache::decodeRecord(const std::string &bytes,
+                         const ConfigFingerprint &fp,
+                         const std::string &key, SolveResult &out,
+                         bool &has_all, std::string *why) const
+{
+    const auto reject = [&](const std::string &reason) {
+        if (why)
+            *why = reason;
+        return Load::Rejected;
+    };
+
+    // Integrity first, exactly like the checkpoint store: the record
+    // must end with a `crc` line whose FNV-1a matches everything
+    // before it.  A torn write or a flipped byte both fail here.
+    const std::size_t crc_pos = bytes.rfind("crc ");
+    if (crc_pos == std::string::npos ||
+        (crc_pos != 0 && bytes[crc_pos - 1] != '\n'))
+        return reject("missing crc trailer (torn record)");
+    const std::string_view tail =
+        std::string_view(bytes).substr(crc_pos);
+    if (tail.size() != 4 + 16 + 1 || tail.back() != '\n')
+        return reject("malformed crc trailer (torn record)");
+    const std::string crc_hex(tail.substr(4, 16));
+    if (crc_hex.find_first_not_of("0123456789abcdef") !=
+        std::string::npos)
+        return reject("malformed crc trailer (torn record)");
+    if (std::strtoull(crc_hex.c_str(), nullptr, 16) !=
+        util::fnv1a64(std::string_view(bytes).substr(0, crc_pos)))
+        return reject("crc mismatch (corrupt record)");
+
+    RecordReader rd(bytes);
+    std::string line, v;
+    if (!rd.next(line) || line != "cactid-cache-v1")
+        return reject("unrecognized version header");
+
+    if (!rd.field("build", v))
+        return reject("missing build stamp");
+    if (v != stamp_)
+        return reject("build fingerprint mismatch (record " + v +
+                      ", binary " + stamp_ + ")");
+
+    std::string rec_key;
+    if (!rd.field("key", rec_key))
+        return reject("missing canonical key");
+    if (rec_key != key || keyFingerprint(rec_key) != fp)
+        return reject("canonical key mismatch (alien record)");
+
+    SolveResult res;
+    if (!rd.field("hasall", v) || (v != "0" && v != "1"))
+        return reject("malformed hasall field");
+    has_all = v == "1";
+
+    if (!rd.field("stats", v))
+        return reject("missing stats line");
+    {
+        std::istringstream ss(v);
+        EngineStats &st = res.stats;
+        std::uint64_t peak = 0;
+        const bool ok = parseU64(ss, st.partitionsEnumerated) &&
+                        parseU64(ss, st.partitionsInfeasible) &&
+                        parseU64(ss, st.solutionsBuilt) &&
+                        parseU64(ss, st.areaPruned) &&
+                        parseU64(ss, st.timePruned) &&
+                        parseU64(ss, peak) &&
+                        parseInt(ss, st.jobsUsed) &&
+                        parseDouble(ss, st.setupSeconds) &&
+                        parseDouble(ss, st.evaluateSeconds) &&
+                        parseDouble(ss, st.filterSeconds) &&
+                        parseDouble(ss, st.totalSeconds);
+        if (!ok)
+            return reject("malformed stats line");
+        st.peakLiveSolutions = static_cast<std::size_t>(peak);
+    }
+
+    if (!rd.field("best", v) || !decodeSolution(v, res.best))
+        return reject("malformed best solution");
+
+    const auto read_list = [&](const char *name,
+                               std::vector<Solution> &list) {
+        if (!rd.field(name, v))
+            return false;
+        const std::size_t n = std::strtoull(v.c_str(), nullptr, 10);
+        list.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            Solution s;
+            if (!rd.field("s", v) || !decodeSolution(v, s))
+                return false;
+            list.push_back(std::move(s));
+        }
+        return true;
+    };
+    if (!read_list("filtered", res.filtered))
+        return reject("malformed filtered solution list");
+    if (!read_list("all", res.all))
+        return reject("malformed all solution list");
+
+    out = std::move(res);
+    return Load::Loaded;
+}
+
+void
+SolveCache::warnOnce(const std::string &msg)
+{
+    if (cfg_.onWarn) {
+        cfg_.onWarn(msg);
+        return;
+    }
+    if (!warned_.exchange(true))
+        std::fprintf(stderr, "cactid: %s\n", msg.c_str());
+}
+
+void
+registerSolveCacheStats(obs::Registry &r, const SolveCacheCounters &c)
+{
+    // Every name is written even at zero so enabled-but-unhit caches
+    // dump the full label set (shard merges must agree on names).
+    r.counter("engine.cache.hits") = c.hits;
+    r.counter("engine.cache.misses") = c.misses;
+    r.counter("engine.cache.evictions") = c.evictions;
+    r.counter("engine.cache.inserts") = c.inserts;
+    r.counter("engine.cache.disk_hits") = c.diskHits;
+    r.counter("engine.cache.disk_writes") = c.diskWrites;
+    r.counter("engine.cache.rejected") = c.rejected;
+    r.counter("engine.cache.entries") = c.entries;
+    r.counter("engine.cache.bytes") = c.bytes;
+}
+
+namespace {
+std::atomic<SolveCache *> g_cache{nullptr};
+} // namespace
+
+SolveCache *
+globalSolveCache()
+{
+    return g_cache.load(std::memory_order_acquire);
+}
+
+void
+setGlobalSolveCache(SolveCache *cache)
+{
+    g_cache.store(cache, std::memory_order_release);
+}
+
+} // namespace cactid

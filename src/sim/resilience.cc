@@ -15,6 +15,7 @@
 #include "obs/numfmt.hh"
 #include "sim/runner.hh"
 #include "util/atomic_file.hh"
+#include "util/hash.hh"
 
 namespace archsim {
 
@@ -207,12 +208,9 @@ FaultPlan::canonical() const
 std::uint64_t
 fnv1a64(std::string_view data)
 {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const char c : data) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ULL;
-    }
-    return h;
+    // One shared implementation: checkpoint records and solve-cache
+    // records must keep hashing identically.
+    return cactid::util::fnv1a64(data);
 }
 
 std::string

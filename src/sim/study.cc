@@ -82,13 +82,20 @@ Study::Study()
 {
     using namespace cactid;
 
+    // The study only consumes .best, so solve in streaming mode (no
+    // SolveResult::all): identical winners, bounded peak memory, and
+    // much smaller entries when a process-global solve cache is
+    // installed (cactid-study --cache / --cache-dir).
+    SolverOptions stream;
+    stream.collectAll = false;
+
     // --- L1: 32KB 8-way private (per core, SRAM).
     {
         MemoryConfig c = baseCacheConfig(32 << 10, 8, 1);
         c.accessMode = AccessMode::Fast;
         c.sleepTransistors = true;
         c.maxAccTimeConstraint = 0.10;
-        l1_ = quantize("L1", solve(c).best);
+        l1_ = quantize("L1", solve(c, stream).best);
     }
 
     // --- L2: 1MB 8-way private (per core, SRAM).
@@ -97,7 +104,7 @@ Study::Study()
         c.accessMode = AccessMode::Fast;
         c.sleepTransistors = true;
         c.maxAccTimeConstraint = 0.15;
-        l2_ = quantize("L2", solve(c).best);
+        l2_ = quantize("L2", solve(c, stream).best);
     }
 
     // --- The five L3 options (8 banks, sequential access, stacked).
@@ -136,7 +143,7 @@ Study::Study()
             c.maxAccTimeConstraint = 2.00;
             c.weights = {1.0, 2.0, 0.5, 0.5, 0.0, 2.0};
         }
-        Projection p = quantize(spec.name, solve(c).best);
+        Projection p = quantize(spec.name, solve(c, stream).best);
         p.capacityBytes = std::uint64_t(spec.capacity);
         p.assoc = spec.assoc;
         l3s_.push_back(p);
@@ -158,7 +165,7 @@ Study::Study()
         c.maxAreaConstraint = 0.10;
         c.maxAccTimeConstraint = 1.00;
         c.weights = {1.0, 0.0, 1.0, 0.0, 0.0, 4.0};
-        mm_ = solve(c).best;
+        mm_ = solve(c, stream).best;
     }
 
     // --- L2-L3 crossbar (8x8, one cache line wide), paper section 4.1.

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the cactid-serve request/response layer: JSONL parsing,
+ * deterministic response rendering, per-request error isolation, the
+ * shard assignment/merge identity, and the shard-mergeable counter
+ * set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/solve_cache.hh"
+#include "obs/registry.hh"
+#include "tools/serve.hh"
+
+namespace {
+
+using namespace cactid;
+using namespace cactid::tools;
+
+std::string
+requestLine(const std::string &id, const std::string &size,
+            int assoc, const std::string &extra = "")
+{
+    return "{\"id\": \"" + id + "\", \"config\": {\"size\": \"" +
+           size + "\", \"block\": 64, \"associativity\": " +
+           std::to_string(assoc) +
+           ", \"type\": \"cache\", \"technology\": \"sram\"" + extra +
+           "}}";
+}
+
+TEST(ServeRequest, ParsesConfigAndId)
+{
+    const ServeRequest req =
+        parseServeRequest(requestLine("r1", "64K", 4), 7);
+    EXPECT_TRUE(req.ok) << req.error;
+    EXPECT_EQ(req.index, 7u);
+    EXPECT_EQ(req.id, "r1");
+    EXPECT_EQ(req.cfg.capacityBytes, 64 << 10);
+    EXPECT_EQ(req.cfg.associativity, 4);
+    EXPECT_EQ(req.cfg.type, MemoryType::Cache);
+}
+
+TEST(ServeRequest, NumericIdIsEchoed)
+{
+    const ServeRequest req = parseServeRequest(
+        "{\"id\": 42, \"config\": {\"size\": \"64K\"}}", 0);
+    EXPECT_TRUE(req.ok) << req.error;
+    EXPECT_EQ(req.id, "42");
+}
+
+TEST(ServeRequest, MalformedLinesFailWithDiagnostics)
+{
+    EXPECT_FALSE(parseServeRequest("not json", 0).ok);
+    EXPECT_FALSE(parseServeRequest("[1,2]", 0).ok);
+    EXPECT_FALSE(parseServeRequest("{\"id\": \"x\"}", 0).ok);
+    const ServeRequest bad_value = parseServeRequest(
+        "{\"config\": {\"size\": [1]}}", 0);
+    EXPECT_FALSE(bad_value.ok);
+    EXPECT_NE(bad_value.error.find("size"), std::string::npos);
+    const ServeRequest bad_cap = parseServeRequest(
+        "{\"config\": {\"size\": \"banana\"}}", 0);
+    EXPECT_FALSE(bad_cap.ok);
+}
+
+TEST(ServeRequest, EngineKeysAreIgnored)
+{
+    // A request cannot change the server's execution policy.
+    const ServeRequest req = parseServeRequest(
+        requestLine("r", "64K", 4, ", \"jobs\": 99"), 0);
+    EXPECT_TRUE(req.ok) << req.error;
+}
+
+TEST(Serve, ResponsesAreDeterministicAndOrdered)
+{
+    const std::vector<std::string> lines = {
+        requestLine("a", "64K", 4),
+        "", // blank lines are skipped, not indexed
+        requestLine("b", "128K", 8),
+        requestLine("a2", "64K", 4), // duplicate of a
+    };
+    ServeStats stats;
+    const std::vector<std::string> first =
+        serveRequests(lines, ServeOptions{}, &stats);
+    const std::vector<std::string> second =
+        serveRequests(lines, ServeOptions{});
+    EXPECT_EQ(first, second);
+    ASSERT_EQ(first.size(), 3u);
+    EXPECT_EQ(stats.requests, 3u);
+    EXPECT_EQ(stats.ok, 3u);
+    EXPECT_EQ(stats.failed, 0u);
+
+    EXPECT_NE(first[0].find("\"index\":0"), std::string::npos);
+    EXPECT_NE(first[0].find("\"id\":\"a\""), std::string::npos);
+    EXPECT_NE(first[0].find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_NE(first[1].find("\"index\":1"), std::string::npos);
+    EXPECT_NE(first[2].find("\"index\":2"), std::string::npos);
+
+    // The duplicate solves to byte-identical metrics under its own id.
+    const std::string a_body = first[0].substr(first[0].find("best"));
+    const std::string dup_body =
+        first[2].substr(first[2].find("best"));
+    EXPECT_EQ(a_body, dup_body);
+}
+
+TEST(Serve, BadRequestFailsAloneAmongGoodOnes)
+{
+    const std::vector<std::string> lines = {
+        requestLine("good", "64K", 4),
+        "{\"id\": \"bad\", \"config\": {\"size\": \"banana\"}}",
+        requestLine("also-good", "128K", 8),
+    };
+    ServeStats stats;
+    const std::vector<std::string> responses =
+        serveRequests(lines, ServeOptions{}, &stats);
+    ASSERT_EQ(responses.size(), 3u);
+    EXPECT_EQ(stats.ok, 2u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_NE(responses[0].find("\"status\":\"ok\""),
+              std::string::npos);
+    EXPECT_NE(responses[1].find("\"status\":\"error\""),
+              std::string::npos);
+    EXPECT_NE(responses[1].find("\"id\":\"bad\""), std::string::npos);
+    EXPECT_NE(responses[2].find("\"status\":\"ok\""),
+              std::string::npos);
+}
+
+TEST(Serve, ShardUnionEqualsUnshardedRun)
+{
+    // Duplicates placed in-shard for a 2-way round-robin split.
+    const std::vector<std::string> lines = {
+        requestLine("a0", "64K", 4),  requestLine("b0", "128K", 8),
+        requestLine("a1", "64K", 4),  requestLine("b1", "128K", 8),
+        requestLine("c0", "256K", 4), requestLine("d0", "64K", 8),
+    };
+    const std::vector<std::string> unsharded =
+        serveRequests(lines, ServeOptions{});
+
+    std::map<std::size_t, std::string> merged;
+    ServeStats total;
+    for (int shard = 0; shard < 2; ++shard) {
+        ServeOptions opts;
+        opts.shardIndex = shard;
+        opts.shardCount = 2;
+        ServeStats stats;
+        for (const std::string &line :
+             serveRequests(lines, opts, &stats)) {
+            std::size_t index = 0;
+            ASSERT_TRUE(responseIndex(line, index));
+            merged[index] = line;
+        }
+        total.requests += stats.requests;
+        total.ok += stats.ok;
+        total.failed += stats.failed;
+    }
+    ASSERT_EQ(merged.size(), unsharded.size());
+    std::size_t i = 0;
+    for (const auto &[index, line] : merged) {
+        EXPECT_EQ(index, i);
+        EXPECT_EQ(line, unsharded[i]);
+        ++i;
+    }
+    EXPECT_EQ(total.requests, 6u);
+    EXPECT_EQ(total.ok, 6u);
+}
+
+TEST(Serve, ResponseIndexParsesOnlyResponses)
+{
+    std::size_t index = 123;
+    EXPECT_TRUE(responseIndex("{\"index\":17,\"id\":\"x\"}", index));
+    EXPECT_EQ(index, 17u);
+    EXPECT_FALSE(responseIndex("{\"id\":\"x\"}", index));
+    EXPECT_FALSE(responseIndex("", index));
+}
+
+TEST(ServeStatsRegistry, MergeableLabelSetIsFixed)
+{
+    // With no cache installed, every name still appears (as zero) so
+    // shard registry merges never disagree on the label set.
+    obs::Registry r;
+    ServeStats stats;
+    stats.requests = 4;
+    stats.ok = 3;
+    stats.failed = 1;
+    registerServeStats(r, stats, nullptr);
+    EXPECT_EQ(r.counterValue("serve.requests"), 4u);
+    EXPECT_EQ(r.counterValue("serve.ok"), 3u);
+    EXPECT_EQ(r.counterValue("serve.failed"), 1u);
+    for (const char *name :
+         {"engine.cache.hits", "engine.cache.misses",
+          "engine.cache.evictions", "engine.cache.rejected"}) {
+        EXPECT_EQ(r.counters().count(name), 1u) << name;
+        EXPECT_EQ(r.counterValue(name), 0u) << name;
+    }
+    // The process-local occupancy counters stay out of the mergeable
+    // set.
+    EXPECT_EQ(r.counters().count("engine.cache.entries"), 0u);
+    EXPECT_EQ(r.counters().count("engine.cache.bytes"), 0u);
+}
+
+} // namespace

@@ -1,0 +1,630 @@
+/**
+ * @file
+ * Tests for the canonical config fingerprint, the memoized solve
+ * cache (LRU bounds, want-all semantics, concurrency, on-disk record
+ * validation) and the batch solve API's byte-identity with serial
+ * solves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/cacti.hh"
+#include "core/engine.hh"
+#include "core/fingerprint.hh"
+#include "core/solve_cache.hh"
+#include "obs/registry.hh"
+#include "util/atomic_file.hh"
+
+namespace {
+
+using namespace cactid;
+
+MemoryConfig
+sramCache()
+{
+    MemoryConfig c;
+    c.capacityBytes = 256 << 10;
+    c.blockBytes = 64;
+    c.associativity = 4;
+    c.nBanks = 2;
+    c.type = MemoryType::Cache;
+    c.featureNm = 45.0;
+    return c;
+}
+
+MemoryConfig
+lpDramCache()
+{
+    MemoryConfig c = sramCache();
+    c.capacityBytes = 1 << 20;
+    c.dataCellTech = RamCellTech::LpDram;
+    c.tagCellTech = RamCellTech::LpDram;
+    c.accessMode = AccessMode::Sequential;
+    return c;
+}
+
+MemoryConfig
+commDramChip()
+{
+    MemoryConfig c;
+    c.capacityBytes = 1024.0 * 1024.0 * 1024.0 / 8.0; // 1 Gb
+    c.blockBytes = 8;
+    c.type = MemoryType::MainMemoryChip;
+    c.nBanks = 8;
+    c.featureNm = 78.0;
+    c.dataCellTech = RamCellTech::CommDram;
+    c.pageBytes = 1024;
+    return c;
+}
+
+/** Exact comparison of every field a response or export can see. */
+void
+expectIdenticalSolution(const Solution &a, const Solution &b)
+{
+    EXPECT_EQ(a.data.part.rowsPerSubarray, b.data.part.rowsPerSubarray);
+    EXPECT_EQ(a.data.part.colsPerSubarray, b.data.part.colsPerSubarray);
+    EXPECT_EQ(a.data.part.blMux, b.data.part.blMux);
+    EXPECT_EQ(a.data.part.samMux, b.data.part.samMux);
+    EXPECT_EQ(a.data.nMats, b.data.nMats);
+    EXPECT_EQ(a.nSubbanks, b.nSubbanks);
+    EXPECT_EQ(a.accessTime, b.accessTime);
+    EXPECT_EQ(a.randomCycle, b.randomCycle);
+    EXPECT_EQ(a.interleaveCycle, b.interleaveCycle);
+    EXPECT_EQ(a.totalArea, b.totalArea);
+    EXPECT_EQ(a.areaEfficiency, b.areaEfficiency);
+    EXPECT_EQ(a.readEnergy, b.readEnergy);
+    EXPECT_EQ(a.writeEnergy, b.writeEnergy);
+    EXPECT_EQ(a.leakage, b.leakage);
+    EXPECT_EQ(a.refreshPower, b.refreshPower);
+    EXPECT_EQ(a.tRcd, b.tRcd);
+    EXPECT_EQ(a.tCas, b.tCas);
+    EXPECT_EQ(a.tRp, b.tRp);
+    EXPECT_EQ(a.tRas, b.tRas);
+    EXPECT_EQ(a.tRc, b.tRc);
+    EXPECT_EQ(a.tRrd, b.tRrd);
+    EXPECT_EQ(a.activateEnergy, b.activateEnergy);
+    EXPECT_EQ(a.readBurstEnergy, b.readBurstEnergy);
+    EXPECT_EQ(a.writeBurstEnergy, b.writeBurstEnergy);
+    EXPECT_EQ(a.objective, b.objective);
+}
+
+void
+expectIdenticalResult(const SolveResult &a, const SolveResult &b)
+{
+    expectIdenticalSolution(a.best, b.best);
+    ASSERT_EQ(a.filtered.size(), b.filtered.size());
+    for (std::size_t i = 0; i < a.filtered.size(); ++i)
+        expectIdenticalSolution(a.filtered[i], b.filtered[i]);
+    ASSERT_EQ(a.all.size(), b.all.size());
+    for (std::size_t i = 0; i < a.all.size(); ++i)
+        expectIdenticalSolution(a.all[i], b.all[i]);
+    EXPECT_EQ(a.stats.partitionsEnumerated,
+              b.stats.partitionsEnumerated);
+    EXPECT_EQ(a.stats.solutionsBuilt, b.stats.solutionsBuilt);
+}
+
+std::string
+tempDir(const std::string &leaf)
+{
+    const std::string dir = ::testing::TempDir() + leaf;
+    std::remove(dir.c_str());
+    return dir;
+}
+
+// --- Fingerprint ----------------------------------------------------
+
+TEST(Fingerprint, EqualConfigsAgree)
+{
+    const MemoryConfig a = sramCache();
+    const MemoryConfig b = sramCache();
+    EXPECT_EQ(canonicalKey(a), canonicalKey(b));
+    EXPECT_EQ(configFingerprint(a), configFingerprint(b));
+    EXPECT_EQ(configFingerprint(a).hex().size(), 32u);
+}
+
+TEST(Fingerprint, DerivedFromKeyBytes)
+{
+    const MemoryConfig c = lpDramCache();
+    EXPECT_EQ(keyFingerprint(canonicalKey(c)), configFingerprint(c));
+    EXPECT_NE(configFingerprint(c).lo, configFingerprint(c).hi);
+}
+
+/** Every solve-relevant MemoryConfig field must perturb the key. */
+TEST(Fingerprint, EverySolveRelevantFieldIsHashed)
+{
+    const MemoryConfig base = sramCache();
+    std::vector<MemoryConfig> variants;
+    auto with = [&](auto &&mutate) {
+        MemoryConfig c = base;
+        mutate(c);
+        variants.push_back(c);
+    };
+    with([](MemoryConfig &c) { c.capacityBytes *= 2; });
+    with([](MemoryConfig &c) { c.blockBytes = 32; });
+    with([](MemoryConfig &c) { c.associativity = 8; });
+    with([](MemoryConfig &c) { c.nBanks = 4; });
+    with([](MemoryConfig &c) { c.type = MemoryType::PlainRam; });
+    with([](MemoryConfig &c) { c.accessMode = AccessMode::Fast; });
+    with([](MemoryConfig &c) { c.physicalAddressBits = 48; });
+    with([](MemoryConfig &c) { c.ports = 2; });
+    with([](MemoryConfig &c) { c.includeEcc = true; });
+    with([](MemoryConfig &c) { c.featureNm = 32.0; });
+    with([](MemoryConfig &c) { c.temperatureK = 360.0; });
+    with([](MemoryConfig &c) {
+        c.dataCellTech = RamCellTech::LpDram;
+    });
+    with([](MemoryConfig &c) {
+        c.tagCellTech = RamCellTech::LpDram;
+    });
+    with([](MemoryConfig &c) { c.sleepTransistors = true; });
+    with([](MemoryConfig &c) { c.maxAreaConstraint = 0.5; });
+    with([](MemoryConfig &c) { c.maxAccTimeConstraint = 0.2; });
+    with([](MemoryConfig &c) { c.repeaterDerate = 0.9; });
+    with([](MemoryConfig &c) { c.weights.dynamicEnergy = 3.0; });
+    with([](MemoryConfig &c) { c.weights.leakage = 3.0; });
+    with([](MemoryConfig &c) { c.weights.randomCycle = 3.0; });
+    with([](MemoryConfig &c) { c.weights.interleaveCycle = 3.0; });
+    with([](MemoryConfig &c) { c.weights.accessTime = 3.0; });
+    with([](MemoryConfig &c) { c.weights.area = 3.0; });
+    with([](MemoryConfig &c) { c.ioBits = 16; });
+    with([](MemoryConfig &c) { c.burstLength = 4; });
+    with([](MemoryConfig &c) { c.prefetchWidth = 4; });
+    with([](MemoryConfig &c) { c.pageBytes = 2048; });
+    with([](MemoryConfig &c) { c.ioDelay = 9e-9; });
+    with([](MemoryConfig &c) { c.ioEnergyPerBit = 20e-12; });
+
+    const ConfigFingerprint fp = configFingerprint(base);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        EXPECT_NE(configFingerprint(variants[i]), fp)
+            << "variant " << i << " did not change the fingerprint";
+        for (std::size_t j = i + 1; j < variants.size(); ++j)
+            EXPECT_NE(configFingerprint(variants[i]),
+                      configFingerprint(variants[j]))
+                << "variants " << i << " and " << j << " collide";
+    }
+}
+
+TEST(Fingerprint, DoubleRenderingIsRoundTripExact)
+{
+    MemoryConfig a = sramCache();
+    MemoryConfig b = sramCache();
+    b.featureNm = std::nextafter(b.featureNm, 1e9);
+    EXPECT_NE(canonicalKey(a), canonicalKey(b));
+    EXPECT_NE(configFingerprint(a), configFingerprint(b));
+}
+
+TEST(Fingerprint, ShareKeyIgnoresOnlyWeights)
+{
+    MemoryConfig a = sramCache();
+    MemoryConfig b = sramCache();
+    b.weights = {1.0, 2.0, 0.5, 0.5, 0.0, 2.0};
+    EXPECT_NE(configFingerprint(a), configFingerprint(b));
+    EXPECT_EQ(canonicalShareKey(a), canonicalShareKey(b));
+    EXPECT_EQ(shareFingerprint(a), shareFingerprint(b));
+
+    MemoryConfig c = sramCache();
+    c.nBanks = 4;
+    EXPECT_NE(shareFingerprint(a), shareFingerprint(c));
+}
+
+// --- In-memory cache ------------------------------------------------
+
+TEST(SolveCache, MissThenHitRoundTrips)
+{
+    SolveCache cache;
+    const MemoryConfig cfg = sramCache();
+    const std::string key = canonicalKey(cfg);
+    const ConfigFingerprint fp = keyFingerprint(key);
+
+    SolveResult out;
+    EXPECT_FALSE(cache.lookup(fp, key, false, out));
+    EXPECT_EQ(cache.counters().misses, 1u);
+
+    const SolveResult res = solve(cfg);
+    cache.insert(fp, key, res, true);
+    SolveResult hit;
+    ASSERT_TRUE(cache.lookup(fp, key, true, hit));
+    expectIdenticalResult(hit, res);
+
+    const SolveCacheCounters c = cache.counters();
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.inserts, 1u);
+    EXPECT_EQ(c.entries, 1u);
+    EXPECT_GT(c.bytes, 0u);
+}
+
+TEST(SolveCache, WantAllSemantics)
+{
+    SolveCache cache;
+    const MemoryConfig cfg = sramCache();
+    const std::string key = canonicalKey(cfg);
+    const ConfigFingerprint fp = keyFingerprint(key);
+
+    // A streaming entry cannot serve a collect-all request.
+    SolverOptions stream;
+    stream.collectAll = false;
+    const SolveResult streamed = solve(cfg, stream);
+    ASSERT_TRUE(streamed.all.empty());
+    cache.insert(fp, key, streamed, false);
+    SolveResult out;
+    EXPECT_FALSE(cache.lookup(fp, key, true, out));
+    EXPECT_TRUE(cache.lookup(fp, key, false, out));
+
+    // A collect-all entry serves both, with `all` stripped for the
+    // streaming request — matching a direct streaming solve.
+    const SolveResult full = solve(cfg);
+    ASSERT_FALSE(full.all.empty());
+    cache.insert(fp, key, full, true);
+    SolveResult all_hit, stream_hit;
+    ASSERT_TRUE(cache.lookup(fp, key, true, all_hit));
+    EXPECT_EQ(all_hit.all.size(), full.all.size());
+    ASSERT_TRUE(cache.lookup(fp, key, false, stream_hit));
+    EXPECT_TRUE(stream_hit.all.empty());
+    expectIdenticalSolution(stream_hit.best, streamed.best);
+}
+
+TEST(SolveCache, LruEntryBoundEvictsOldest)
+{
+    SolveCacheConfig cc;
+    cc.maxEntries = 2;
+    cc.shards = 1;
+    SolveCache cache(cc);
+
+    const std::vector<MemoryConfig> cfgs = {sramCache(), lpDramCache(),
+                                            commDramChip()};
+    std::vector<std::string> keys;
+    std::vector<ConfigFingerprint> fps;
+    for (const MemoryConfig &cfg : cfgs) {
+        keys.push_back(canonicalKey(cfg));
+        fps.push_back(keyFingerprint(keys.back()));
+        SolverOptions stream;
+        stream.collectAll = false;
+        cache.insert(fps.back(), keys.back(), solve(cfg, stream),
+                     false);
+    }
+
+    const SolveCacheCounters c = cache.counters();
+    EXPECT_EQ(c.entries, 2u);
+    EXPECT_GE(c.evictions, 1u);
+
+    SolveResult out;
+    EXPECT_FALSE(cache.lookup(fps[0], keys[0], false, out)); // evicted
+    EXPECT_TRUE(cache.lookup(fps[1], keys[1], false, out));
+    EXPECT_TRUE(cache.lookup(fps[2], keys[2], false, out));
+}
+
+TEST(SolveCache, ByteBoundKeepsAtLeastOneEntry)
+{
+    SolveCacheConfig cc;
+    cc.maxBytes = 1; // far below any entry
+    cc.shards = 1;
+    SolveCache cache(cc);
+
+    const MemoryConfig cfg = sramCache();
+    const std::string key = canonicalKey(cfg);
+    const ConfigFingerprint fp = keyFingerprint(key);
+    SolverOptions stream;
+    stream.collectAll = false;
+    cache.insert(fp, key, solve(cfg, stream), false);
+
+    // An over-budget sole entry stays resident (the cache must still
+    // be able to serve the config it just solved).
+    SolveResult out;
+    EXPECT_TRUE(cache.lookup(fp, key, false, out));
+    EXPECT_EQ(cache.counters().entries, 1u);
+}
+
+TEST(SolveCache, ConcurrentHitsAreRaceFree)
+{
+    SolveCache cache;
+    const std::vector<MemoryConfig> cfgs = {sramCache(),
+                                            lpDramCache()};
+    std::vector<std::string> keys;
+    std::vector<ConfigFingerprint> fps;
+    std::vector<SolveResult> results;
+    SolverOptions stream;
+    stream.collectAll = false;
+    for (const MemoryConfig &cfg : cfgs) {
+        keys.push_back(canonicalKey(cfg));
+        fps.push_back(keyFingerprint(keys.back()));
+        results.push_back(solve(cfg, stream));
+    }
+
+    constexpr int kThreads = 8;
+    constexpr int kIters = 200;
+    std::vector<std::thread> threads;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                const std::size_t which = (t + i) % cfgs.size();
+                SolveResult out;
+                if (cache.lookup(fps[which], keys[which], false,
+                                 out)) {
+                    if (out.best.accessTime !=
+                        results[which].best.accessTime)
+                        ++mismatches;
+                } else {
+                    cache.insert(fps[which], keys[which],
+                                 results[which], false);
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_GT(cache.counters().hits, 0u);
+}
+
+// --- On-disk records ------------------------------------------------
+
+struct DiskFixture {
+    std::string dir;
+    MemoryConfig cfg = sramCache();
+    std::string key;
+    ConfigFingerprint fp;
+    SolveResult res;
+
+    explicit DiskFixture(const std::string &leaf)
+        : dir(tempDir(leaf)), key(canonicalKey(cfg)),
+          fp(keyFingerprint(key)), res(solve(cfg))
+    {
+    }
+
+    SolveCacheConfig
+    config(const std::string &stamp) const
+    {
+        SolveCacheConfig cc;
+        cc.diskDir = dir;
+        cc.buildStamp = stamp;
+        return cc;
+    }
+};
+
+TEST(SolveCacheDisk, RecordRoundTripsAcrossProcesses)
+{
+    const DiskFixture fx("sc_roundtrip");
+    {
+        SolveCache writer(fx.config("stamp-a"));
+        writer.insert(fx.fp, fx.key, fx.res, true);
+        EXPECT_EQ(writer.counters().diskWrites, 1u);
+    }
+    SolveCache reader(fx.config("stamp-a")); // fresh "process"
+    SolveResult out;
+    ASSERT_TRUE(reader.lookup(fx.fp, fx.key, true, out));
+    expectIdenticalResult(out, fx.res);
+    const SolveCacheCounters c = reader.counters();
+    EXPECT_EQ(c.diskHits, 1u);
+    EXPECT_EQ(c.hits, 1u);
+
+    // Now resident in memory: the second hit needs no disk.
+    ASSERT_TRUE(reader.lookup(fx.fp, fx.key, true, out));
+    EXPECT_EQ(reader.counters().diskHits, 1u);
+}
+
+TEST(SolveCacheDisk, StaleBuildStampIsRejectedWithWarning)
+{
+    const DiskFixture fx("sc_stale");
+    {
+        SolveCache writer(fx.config("stamp-old"));
+        writer.insert(fx.fp, fx.key, fx.res, true);
+    }
+    std::vector<std::string> warnings;
+    SolveCacheConfig cc = fx.config("stamp-new");
+    cc.onWarn = [&](const std::string &msg) {
+        warnings.push_back(msg);
+    };
+    SolveCache reader(cc);
+    SolveResult out;
+    EXPECT_FALSE(reader.lookup(fx.fp, fx.key, true, out));
+    EXPECT_EQ(reader.counters().rejected, 1u);
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("build fingerprint mismatch"),
+              std::string::npos);
+}
+
+TEST(SolveCacheDisk, TornRecordIsRejected)
+{
+    const DiskFixture fx("sc_torn");
+    SolveCache writer(fx.config("stamp-a"));
+    writer.insert(fx.fp, fx.key, fx.res, true);
+
+    std::string bytes, err;
+    ASSERT_TRUE(
+        util::readFile(writer.recordPath(fx.fp), bytes, &err));
+    ASSERT_TRUE(util::writeFileAtomic(
+        writer.recordPath(fx.fp), bytes.substr(0, bytes.size() / 2),
+        &err));
+
+    std::vector<std::string> warnings;
+    SolveCacheConfig cc = fx.config("stamp-a");
+    cc.onWarn = [&](const std::string &msg) {
+        warnings.push_back(msg);
+    };
+    SolveCache reader(cc);
+    SolveResult out;
+    EXPECT_FALSE(reader.lookup(fx.fp, fx.key, true, out));
+    EXPECT_EQ(reader.counters().rejected, 1u);
+    EXPECT_EQ(warnings.size(), 1u);
+}
+
+TEST(SolveCacheDisk, CorruptPayloadFailsCrc)
+{
+    const DiskFixture fx("sc_corrupt");
+    SolveCache writer(fx.config("stamp-a"));
+    writer.insert(fx.fp, fx.key, fx.res, true);
+
+    std::string bytes, err;
+    ASSERT_TRUE(
+        util::readFile(writer.recordPath(fx.fp), bytes, &err));
+    const std::size_t mid = bytes.size() / 2;
+    bytes[mid] = bytes[mid] == 'x' ? 'y' : 'x';
+    ASSERT_TRUE(
+        util::writeFileAtomic(writer.recordPath(fx.fp), bytes, &err));
+
+    SolveCache reader(fx.config("stamp-a"));
+    SolveResult out;
+    EXPECT_FALSE(reader.lookup(fx.fp, fx.key, true, out));
+    EXPECT_EQ(reader.counters().rejected, 1u);
+}
+
+TEST(SolveCacheDisk, AlienRecordAtWrongPathIsRejected)
+{
+    const DiskFixture fx("sc_alien");
+    SolveCache writer(fx.config("stamp-a"));
+    writer.insert(fx.fp, fx.key, fx.res, true);
+
+    // Drop a record for a DIFFERENT config at this config's path, as
+    // if a file had been renamed or a fingerprint collided.
+    const MemoryConfig other = lpDramCache();
+    const std::string other_key = canonicalKey(other);
+    const std::string alien =
+        writer.encodeRecord(other_key, solve(other), true);
+    std::string err;
+    ASSERT_TRUE(
+        util::writeFileAtomic(writer.recordPath(fx.fp), alien, &err));
+
+    std::vector<std::string> warnings;
+    SolveCacheConfig cc = fx.config("stamp-a");
+    cc.onWarn = [&](const std::string &msg) {
+        warnings.push_back(msg);
+    };
+    SolveCache reader(cc);
+    SolveResult out;
+    EXPECT_FALSE(reader.lookup(fx.fp, fx.key, true, out));
+    EXPECT_EQ(reader.counters().rejected, 1u);
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("alien"), std::string::npos);
+}
+
+TEST(SolveCacheDisk, DecodeRecordReportsDefects)
+{
+    const DiskFixture fx("sc_decode");
+    SolveCache cache(fx.config("stamp-a"));
+    const std::string rec = cache.encodeRecord(fx.key, fx.res, true);
+
+    SolveResult out;
+    bool has_all = false;
+    std::string why;
+    EXPECT_EQ(cache.decodeRecord(rec, fx.fp, fx.key, out, has_all,
+                                 &why),
+              SolveCache::Load::Loaded);
+    EXPECT_TRUE(has_all);
+    expectIdenticalResult(out, fx.res);
+
+    EXPECT_EQ(cache.decodeRecord("not a record", fx.fp, fx.key, out,
+                                 has_all, &why),
+              SolveCache::Load::Rejected);
+    EXPECT_FALSE(why.empty());
+}
+
+// --- Registry + global install --------------------------------------
+
+TEST(SolveCacheStats, AllNamesEmittedAsZeros)
+{
+    obs::Registry r;
+    registerSolveCacheStats(r, SolveCacheCounters{});
+    for (const char *name :
+         {"engine.cache.hits", "engine.cache.misses",
+          "engine.cache.evictions", "engine.cache.inserts",
+          "engine.cache.disk_hits", "engine.cache.disk_writes",
+          "engine.cache.rejected", "engine.cache.entries",
+          "engine.cache.bytes"}) {
+        EXPECT_EQ(r.counterValue(name), 0u) << name;
+        EXPECT_EQ(r.counters().count(name), 1u) << name;
+    }
+}
+
+TEST(SolveCacheGlobal, EngineUsesInstalledCache)
+{
+    SolveCache cache;
+    setGlobalSolveCache(&cache);
+    const MemoryConfig cfg = sramCache();
+    const SolveResult first = solve(cfg);
+    const SolveResult second = solve(cfg);
+    setGlobalSolveCache(nullptr);
+
+    expectIdenticalResult(first, second);
+    EXPECT_EQ(cache.counters().misses, 1u);
+    EXPECT_EQ(cache.counters().hits, 1u);
+
+    // Uninstalled again: solves bypass the cache.
+    (void)solve(cfg);
+    EXPECT_EQ(cache.counters().hits, 1u);
+}
+
+// --- Batch API ------------------------------------------------------
+
+TEST(SolveBatch, MatchesSerialSolvesAcrossTechnologies)
+{
+    std::vector<MemoryConfig> batch = {sramCache(), lpDramCache(),
+                                       commDramChip()};
+    batch.push_back(sramCache()); // duplicate
+    MemoryConfig weighted = lpDramCache();
+    weighted.weights = {1.0, 2.0, 0.5, 0.5, 0.0, 2.0};
+    batch.push_back(weighted); // weight-only variant
+
+    for (const int jobs : {1, 4}) {
+        SolverOptions opts;
+        opts.jobs = jobs;
+        const SolverEngine engine(opts);
+        BatchStats stats{};
+        const std::vector<SolveResult> results =
+            engine.solveBatch(batch, &stats);
+        ASSERT_EQ(results.size(), batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            SCOPED_TRACE("request " + std::to_string(i) + " jobs " +
+                         std::to_string(jobs));
+            expectIdenticalResult(results[i], engine.run(batch[i]));
+        }
+        EXPECT_EQ(stats.requests, batch.size());
+        EXPECT_EQ(stats.uniqueSolves, 4u); // duplicate deduped
+        EXPECT_EQ(stats.shareGroups, 3u);  // variant shares its group
+        EXPECT_EQ(stats.cacheHits, 0u);
+    }
+}
+
+TEST(SolveBatch, SecondBatchServedFromCache)
+{
+    SolveCache cache;
+    SolverOptions opts;
+    opts.cache = &cache;
+    const SolverEngine engine(opts);
+    const std::vector<MemoryConfig> batch = {sramCache(),
+                                             lpDramCache()};
+
+    BatchStats cold{};
+    const std::vector<SolveResult> first =
+        engine.solveBatch(batch, &cold);
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_EQ(cold.uniqueSolves, 2u);
+
+    BatchStats warm{};
+    const std::vector<SolveResult> second =
+        engine.solveBatch(batch, &warm);
+    EXPECT_EQ(warm.cacheHits, 2u);
+    EXPECT_EQ(warm.uniqueSolves, 2u); // still 2 distinct fingerprints
+    EXPECT_EQ(warm.shareGroups, 0u);  // but no pipeline ran
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        expectIdenticalResult(second[i], first[i]);
+}
+
+TEST(SolveBatch, InvalidRequestFailsTheBatch)
+{
+    MemoryConfig invalid = sramCache();
+    invalid.capacityBytes = 0.0; // rejected downstream
+    const SolverEngine engine{SolverOptions{}};
+    // All-or-nothing: callers needing per-request isolation (the
+    // serve front end) fall back to independent run() calls.
+    EXPECT_ANY_THROW(
+        (void)engine.solveBatch({sramCache(), invalid}));
+}
+
+} // namespace

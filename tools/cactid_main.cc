@@ -14,6 +14,8 @@
  *   cactid <config-file> --trace FILE   profiling spans as Chrome trace
  *   cactid <config-file> --profile      span summary on stderr
  *   cactid <config-file> --registry FILE  solver counters (obs-v1)
+ *   cactid <config-file> --cache on|off   memoize solves (default off)
+ *   cactid <config-file> --cache-dir DIR  persist the cache on disk
  *   cactid --version
  *   cactid --help
  *
@@ -36,6 +38,8 @@
 #include "obs/export.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+#include "core/solve_cache.hh"
+#include "tools/cache_cli.hh"
 #include "tools/config_parser.hh"
 #include "util/atomic_file.hh"
 
@@ -63,6 +67,14 @@ printHelp()
         "  cactid <config-file> --registry FILE\n"
         "                                    solver counters as "
         "cactid-obs-v1\n"
+        "  cactid <config-file> --cache on|off\n"
+        "                                    memoize solves (default "
+        "off,\n"
+        "                                    on when --cache-dir is "
+        "given)\n"
+        "  cactid <config-file> --cache-dir DIR\n"
+        "                                    persist cache records "
+        "under DIR\n"
         "  cactid --version                  build stamp\n"
         "  cactid -                          read the config from "
         "stdin\n"
@@ -125,6 +137,8 @@ struct CliArgs {
     std::string sweep;
     std::string tracePath;
     std::string registryPath;
+    std::string cacheMode;
+    std::string cacheDir;
     bool csv = false;
     bool stats = false;
     bool profile = false;
@@ -166,6 +180,22 @@ parseArgs(int argc, char **argv)
                 return a;
             }
             a.registryPath = argv[++i];
+        } else if (std::strcmp(arg, "--cache") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "cactid: --cache needs on or off\n");
+                a.ok = false;
+                return a;
+            }
+            a.cacheMode = argv[++i];
+        } else if (std::strcmp(arg, "--cache-dir") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "cactid: --cache-dir needs a path\n");
+                a.ok = false;
+                return a;
+            }
+            a.cacheDir = argv[++i];
         } else if (std::strcmp(arg, "--jobs") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "cactid: --jobs needs a value\n");
@@ -271,6 +301,13 @@ main(int argc, char **argv)
         cactid::obs::Tracer::instance().enable(true);
 
     try {
+        std::string cache_err;
+        if (!cactid::tools::installSolveCache(
+                args.cacheMode, args.cacheDir, &cache_err)) {
+            std::fprintf(stderr, "cactid: %s\n", cache_err.c_str());
+            return 2;
+        }
+
         cactid::MemoryConfig cfg;
         cactid::SolverOptions opts;
         if (args.configPath == "-") {
@@ -297,6 +334,10 @@ main(int argc, char **argv)
         if (!args.registryPath.empty()) {
             cactid::obs::Registry reg;
             cactid::registerEngineStats(reg, res.stats);
+            if (const cactid::SolveCache *cache =
+                    cactid::tools::installedSolveCache())
+                cactid::registerSolveCacheStats(reg,
+                                                cache->counters());
             io_ok &=
                 withStream(args.registryPath, [&](std::ostream &os) {
                     cactid::obs::writeRegistryDump(

@@ -20,6 +20,8 @@
  *   cactid-study --quiet                 suppress the aggregate table
  *   cactid-study --trace FILE            simulator events as Chrome
  *                                        trace JSON (deterministic)
+ *   cactid-study --cache on|off          memoize the LLC solves
+ *   cactid-study --cache-dir DIR         persist the solve cache
  *   cactid-study --registry FILE         per-run counter registries
  *   cactid-study --openmetrics FILE      the same counters in the
  *                                        OpenMetrics text format
@@ -64,6 +66,7 @@
 #include "obs/trace.hh"
 #include "sim/resilience.hh"
 #include "sim/runner.hh"
+#include "tools/cache_cli.hh"
 #include "util/atomic_file.hh"
 
 namespace {
@@ -100,6 +103,13 @@ printHelp()
         "                     JSON (- for stdout; simulated-cycle\n"
         "                     clock, byte-identical for any --jobs)\n"
         "  --trace-capacity N per-run event ring size (default 16384)\n"
+        "  --cache on|off     memoize the study's LLC solves (default\n"
+        "                     off, on when --cache-dir is given; the\n"
+        "                     sweep output is byte-identical either\n"
+        "                     way)\n"
+        "  --cache-dir DIR    persist solve-cache records under DIR,\n"
+        "                     shared across runs; records from another\n"
+        "                     build are rejected and re-solved\n"
         "  --registry FILE    write per-run counters as cactid-obs-v1\n"
         "  --openmetrics FILE write per-run counters in the\n"
         "                     OpenMetrics text exposition (- for\n"
@@ -176,6 +186,7 @@ struct CliArgs {
     bool telemetryIntervalSet = false;
     bool latencyHistograms = false;
     std::string checkpointDir, faultPlanSpec;
+    std::string cacheMode, cacheDir;
     std::size_t traceCapacity = 1 << 14;
     archsim::Cycle maxCycles = 0;
     std::uint64_t maxWallMs = 0;
@@ -255,6 +266,10 @@ parseArgs(int argc, char **argv)
             a.telemetryIntervalSet = true;
         } else if (!std::strcmp(arg, "--latency-histograms"))
             a.latencyHistograms = true;
+        else if (!std::strcmp(arg, "--cache"))
+            a.cacheMode = (v = value(i, arg)) ? v : "";
+        else if (!std::strcmp(arg, "--cache-dir"))
+            a.cacheDir = (v = value(i, arg)) ? v : "";
         else if (!std::strcmp(arg, "--checkpoint"))
             a.checkpointDir = (v = value(i, arg)) ? v : "";
         else if (!std::strcmp(arg, "--resume"))
@@ -467,6 +482,16 @@ main(int argc, char **argv)
         cactid::obs::Tracer::instance().enable(true);
 
     try {
+        // Install the solve cache before the Study constructor runs
+        // its eight LLC solves, so those are memoized too.
+        std::string cache_err;
+        if (!cactid::tools::installSolveCache(
+                args.cacheMode, args.cacheDir, &cache_err)) {
+            std::fprintf(stderr, "cactid-study: %s\n",
+                         cache_err.c_str());
+            return 2;
+        }
+
         Study study;
         if (args.table3)
             study.printTable3(std::cout);

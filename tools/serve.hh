@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The request/response layer behind `cactid-serve`: a JSONL solve
+ * service over the batch engine and the memoized solve cache.
+ *
+ * One request per line:
+ *
+ *   {"id": "l3-sweep-7", "config": {"size": "24M", "type": "cache",
+ *    "associativity": 12, "technology": "lp-dram", ...}}
+ *
+ * The "config" object holds exactly the `key = value` vocabulary of
+ * the cactid config-file parser (tools/config_parser.hh) — string,
+ * number and boolean values are accepted; engine keys (jobs,
+ * collect_all) are ignored so a request cannot change how the server
+ * executes.  "id" is optional and echoed back verbatim.
+ *
+ * One response per request, in request order, rendered with the
+ * locale-proof fmtDouble so equal solves always produce equal bytes:
+ *
+ *   {"index": 0, "id": "l3-sweep-7", "status": "ok",
+ *    "fingerprint": "<32 hex>", "best": {...}, "filtered": N,
+ *    "explored": M}
+ *   {"index": 3, "id": "bad", "status": "error", "message": "..."}
+ *
+ * Requests flow through SolverEngine::solveBatch, so duplicate
+ * configs solve once and weight-only variants share one enumeration;
+ * a process-global SolveCache (installed by the tool behind --cache /
+ * --cache-dir) memoizes across batches and across shard processes
+ * via the shared on-disk store.
+ *
+ * Sharding contract: a shard serves the requests whose stream index i
+ * satisfies i % shardCount == shardIndex, and emits responses that
+ * carry their global index — so the parent's index-ordered merge of N
+ * shard outputs is byte-identical to an unsharded run over the same
+ * stream.
+ */
+
+#ifndef CACTID_TOOLS_SERVE_HH
+#define CACTID_TOOLS_SERVE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/engine.hh"
+
+namespace cactid {
+class SolveCache;
+namespace obs {
+class Registry;
+}
+} // namespace cactid
+
+namespace cactid::tools {
+
+/** One parsed request line. */
+struct ServeRequest {
+    std::size_t index = 0; ///< global index in the request stream
+    std::string id;        ///< client id, echoed back ("" if absent)
+    MemoryConfig cfg;
+    bool ok = false;    ///< parse success
+    std::string error;  ///< parse diagnostic when !ok
+};
+
+/**
+ * Parse one JSONL request line (at stream position @p index).  Parse
+ * failures land in the returned request's error field — the server
+ * answers them with a status:"error" response instead of dying.
+ */
+ServeRequest parseServeRequest(const std::string &line,
+                               std::size_t index);
+
+/** How to execute a request stream. */
+struct ServeOptions {
+    SolverOptions solver; ///< jobs / collectAll / cache for the engine
+    int shardIndex = 0;
+    int shardCount = 1; ///< serve request i iff i % count == index
+};
+
+/** What one serve pass did (additive across shards). */
+struct ServeStats {
+    std::size_t requests = 0; ///< requests assigned to this shard
+    std::size_t ok = 0;
+    std::size_t failed = 0; ///< parse errors + infeasible solves
+};
+
+/**
+ * Serve the non-empty lines of a request stream and return one
+ * response line (no trailing newline) per assigned request, in
+ * request order.  Solves go through SolverEngine::solveBatch; when
+ * any request in the batch is infeasible the batch degrades to
+ * per-request solves so one bad config only fails its own response.
+ */
+std::vector<std::string>
+serveRequests(const std::vector<std::string> &lines,
+              const ServeOptions &opts, ServeStats *stats = nullptr);
+
+/**
+ * Publish the shard-mergeable serve counters: serve.requests /
+ * serve.ok / serve.failed plus the topology-invariant solve-cache
+ * counters (engine.cache.hits / misses / evictions / rejected).
+ * Every name is always written — zeros when the cache is disabled or
+ * unhit — so shard dumps always agree on the label set and their
+ * merge equals the unsharded dump whenever duplicate requests land
+ * in-shard.  The occupancy and disk-split counters (entries, bytes,
+ * disk_hits, disk_writes, inserts) are process-local and deliberately
+ * NOT here; single-process tools get them via registerSolveCacheStats.
+ */
+void registerServeStats(obs::Registry &r, const ServeStats &s,
+                        const SolveCache *cache);
+
+/**
+ * Extract the "index" field of a response line (the parent's shard
+ * merge key).  Returns false on a line that is not a serve response.
+ */
+bool responseIndex(const std::string &line, std::size_t &out);
+
+} // namespace cactid::tools
+
+#endif // CACTID_TOOLS_SERVE_HH
